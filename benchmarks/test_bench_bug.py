@@ -1,0 +1,95 @@
+"""Benchmark: discovering the V-scale bug (paper §7.1, Figure 12).
+
+Times the end-to-end verification of mp against the shipped (buggy)
+V-scale memory and regenerates the Figure 12 counterexample timing
+diagram.
+"""
+
+from conftest import save_table
+
+from repro import RTLCheck, get_test
+from repro.rtl import render_timing_diagram
+
+FIGURE12_SIGNALS = [
+    "core[0].PC_DX", "core[0].PC_WB",
+    "core[1].PC_DX", "core[1].PC_WB",
+    "core[0].store_data_WB", "core[1].load_data_WB",
+    "mem.wdata", "mem.wvalid", "mem[40]", "mem[41]",
+    "arbiter.cur_core", "arbiter.prev_core",
+]
+
+
+def test_bug_discovery_on_buggy_mp(benchmark, results_dir):
+    rtlcheck = RTLCheck()
+    mp = get_test("mp")
+
+    result = benchmark(rtlcheck.verify_test, mp, "buggy")
+    assert result.bug_found
+    failing = result.counterexamples[0]
+    assert "Read_Values" in failing.name  # the paper's offending axiom
+
+    frames = [frame for _inputs, frame in failing.counterexample]
+    diagram = render_timing_diagram(frames, FIGURE12_SIGNALS)
+    report = "\n".join(
+        [
+            "Figure 12 reproduction: counterexample for "
+            f"{failing.name} on the buggy memory",
+            "",
+            diagram,
+            "",
+            "Bug mechanics: the second store's address phase pushes the",
+            "STALE wdata value into the first store's slot, dropping the",
+            "store of x; the load of y bypasses from wdata while the load",
+            "of x reads the corrupted array.",
+        ]
+    )
+    save_table(results_dir, "figure12_counterexample.txt", report)
+
+    # The defining signature of the bug: wdata active but the x slot
+    # (mem[40]) never receives the stored 1.
+    assert any(frame.get("mem.wvalid") for frame in frames)
+    assert all(frame.get("mem[40]", 0) == 0 for frame in frames)
+
+
+def test_fixed_memory_kills_the_counterexample(benchmark):
+    rtlcheck = RTLCheck()
+    result = benchmark(rtlcheck.verify_test, get_test("mp"), "fixed")
+    assert result.verified
+
+
+def test_bug_found_by_other_tests_too(benchmark, results_dir):
+    """§7.1 notes the bug fires whenever two stores reach memory in
+    successive cycles — including stores from *different* cores through
+    the arbiter; loads observing the dropped value raise Read_Values
+    counterexamples."""
+    rtlcheck = RTLCheck()
+    names = ["mp", "mp+staleld", "n1", "wrc", "sb", "ssl"]
+
+    def sweep():
+        return {
+            name: rtlcheck.verify_test(get_test(name), "buggy") for name in names
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Buggy-memory sweep: which litmus tests expose the bug?", ""]
+    for name, result in results.items():
+        status = "COUNTEREXAMPLE" if result.bug_found else "verified"
+        lines.append(f"  {name:12s} {status}")
+    lines += [
+        "",
+        "mp / mp+staleld: back-to-back same-core stores, later load",
+        "observes the drop.  sb: cross-core stores arbitrated into",
+        "successive cycles.  ssl: same-address traffic is masked by the",
+        "wdata bypass.  n1: the drop only corrupts *final memory*, which",
+        "RTL assertions conservatively cannot check (paper §4.2) — the",
+        "known blind spot of per-test RTL translation.",
+    ]
+    save_table(results_dir, "bug_exposure.txt", "\n".join(lines))
+    assert results["mp"].bug_found
+    assert results["mp+staleld"].bug_found
+    assert results["sb"].bug_found
+    # Back-to-back same-address traffic masks the bug: ssl verifies.
+    assert not results["ssl"].bug_found
+    # n1's divergence is final-memory-only: invisible at RTL (§4.2).
+    assert not results["n1"].bug_found
+    assert "final_values" in results["n1"].cover.fired_assumptions

@@ -1,0 +1,82 @@
+"""Benchmark: Table 1 — the JasperGold configurations.
+
+Regenerates the configuration table and checks both configurations
+behave per their Table 1 roles on a representative property workload.
+"""
+
+from conftest import save_table
+
+from repro import CONFIGS, RTLCheck, get_test
+from repro.verifier.config import FULL_PROOF, HYBRID
+
+
+def _render_table1():
+    lines = [
+        "Table 1: JasperGold configurations used when verifying",
+        "Multi-V-scale with RTLCheck",
+        "",
+        f"{'Config':12s} {'Cover run':12s} {'Proof engine runs':42s} "
+        f"{'Mem/Test':>9s} {'Cores':>6s}",
+    ]
+    for name, config in CONFIGS.items():
+        engines = ", ".join(
+            f"{e.name}({e.kind},{e.hours:g}h"
+            + (f",d<={e.depth_cap}" if e.kind == "bounded" else "")
+            + ")"
+            for e in config.engines
+        )
+        lines.append(
+            f"{name:12s} {config.cover_hours:g} hour{'':6s} {engines:42s} "
+            f"{config.memory_gb_per_test:>7d}GB {config.cores_per_test:>6d}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_configurations(benchmark, results_dir):
+    table = benchmark(_render_table1)
+    save_table(results_dir, "table1_configs.txt", table)
+    assert HYBRID.cores_per_test == 5 and HYBRID.memory_gb_per_test == 64
+    assert FULL_PROOF.cores_per_test == 4 and FULL_PROOF.memory_gb_per_test == 120
+    assert HYBRID.cover_hours == FULL_PROOF.cover_hours == 1.0
+    assert HYBRID.proof_hours == FULL_PROOF.proof_hours == 10.0
+
+
+def test_configs_differ_on_proof_style(benchmark):
+    """Full_Proof dedicates more hours to full-proof engines; Hybrid's
+    bounded engines reach deeper bounds."""
+
+    def compare():
+        full_hours = {
+            name: sum(e.hours for e in config.full_engines)
+            for name, config in CONFIGS.items()
+        }
+        caps = {
+            name: max((e.depth_cap for e in config.bounded_engines), default=0)
+            for name, config in CONFIGS.items()
+        }
+        return full_hours, caps
+
+    full_hours, caps = benchmark(compare)
+    assert full_hours["Full_Proof"] > full_hours["Hybrid"]
+    assert caps["Hybrid"] > caps["Full_Proof"]
+
+
+def test_configs_agree_on_verdicts(benchmark):
+    """Engine configuration affects proven/bounded splits and runtimes,
+    never soundness: both configs verify a correct test and both report
+    the bug."""
+
+    def run():
+        out = {}
+        for name, config in CONFIGS.items():
+            rtlcheck = RTLCheck(config=config)
+            out[name] = (
+                rtlcheck.verify_test(get_test("sb")).verified,
+                rtlcheck.verify_test(get_test("mp"), "buggy").bug_found,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, (verified, bug_found) in results.items():
+        assert verified, name
+        assert bug_found, name

@@ -1,0 +1,60 @@
+"""Benchmark: the Check-suite layer RTLCheck builds on (paper §2.1).
+
+Times the microarchitectural µhb-graph verification across the 56-test
+suite and cross-checks every verdict against the independent SC oracle
+— the precondition for RTLCheck's soundness is that the µspec model is
+faithful, and this is how the paper's Figure 3a layer is exercised.
+"""
+
+from conftest import save_table
+
+from repro import paper_suite
+from repro.litmus import get_test
+from repro.memodel import sc_allowed
+from repro.uhb import microarch_observable
+from repro.uspec import multi_vscale_model
+
+
+def test_microarch_mp(benchmark):
+    model = multi_vscale_model()
+    result = benchmark(microarch_observable, model, get_test("mp"))
+    assert not result.observable
+
+
+def test_microarch_amd3_largest_test(benchmark):
+    """amd3 (8 memory ops) is the enumeration worst case."""
+    model = multi_vscale_model()
+    result = benchmark(microarch_observable, model, get_test("amd3"))
+    assert result.observable  # amd3's outcome is SC-allowed
+
+
+def test_microarch_full_suite_against_oracle(benchmark, suite, results_dir):
+    model = multi_vscale_model()
+
+    def sweep():
+        rows = []
+        for test in suite:
+            result = microarch_observable(model, test)
+            rows.append(
+                (test.name, result.observable, sc_allowed(test),
+                 result.solve.leaves_enumerated)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Check-style microarchitectural verification across the suite",
+        "",
+        f"{'test':13s} {'uhb verdict':>12s} {'SC oracle':>10s} {'leaves':>7s}",
+    ]
+    mismatches = []
+    for name, observable, oracle, leaves in rows:
+        fmt = lambda b: "observable" if b else "forbidden"
+        mark = "" if observable == oracle else "   <-- MISMATCH"
+        if observable != oracle:
+            mismatches.append(name)
+        lines.append(
+            f"{name:13s} {fmt(observable):>12s} {fmt(oracle):>10s} {leaves:>7d}{mark}"
+        )
+    save_table(results_dir, "microarch_suite.txt", "\n".join(lines))
+    assert mismatches == []

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""RTLCheck on a weaker memory model: the x86-TSO Multi-V-scale.
+
+The paper's method supports arbitrary ISA-level MCMs; this example runs
+it end to end on the store-buffer variant of Multi-V-scale:
+
+1. show the store-buffering relaxation live: sb's SC-forbidden outcome
+   occurs on the TSO design;
+2. verify sb with RTLCheck against the TSO µspec model — the outcome is
+   reachable (the covering trace exists) yet every axiom holds;
+3. seed a LIFO-drain bug in the store buffer and watch the
+   Store_Buffer_FIFO assertion produce a counterexample.
+
+Run:  python examples/tso_machine.py
+"""
+
+import random
+
+from repro import RTLCheck, get_test
+from repro.litmus import compile_test
+from repro.rtl import Simulator, render_timing_diagram
+from repro.vscale import MultiVScaleTSO
+
+
+def show_relaxation():
+    sb = get_test("sb")
+    print(sb.pretty())
+    compiled = compile_test(sb)
+    rng = random.Random(7)
+    for _ in range(500):
+        soc = MultiVScaleTSO(compiled)
+        sim = Simulator(soc)
+        schedule = [rng.randrange(4) for _ in range(150)]
+        iterator = iter(schedule)
+        for _ in range(150):
+            sim.step({"arb_select": next(iterator, 0)})
+            if soc.drained():
+                break
+        if soc.register_results() == {"r1": 0, "r2": 0}:
+            print("\nFound the store-buffering relaxation: r1=0, r2=0")
+            print("(forbidden under SC, allowed under x86-TSO)\n")
+            signals = [
+                "core[0].PC_WB", "core[1].PC_WB",
+                "core[0].sb_count", "core[1].sb_count",
+                "core[0].commit_valid", "core[1].commit_valid",
+                "core[0].load_data_WB", "core[1].load_data_WB",
+            ]
+            print(render_timing_diagram(sim.trace[:12], signals))
+            return
+    raise AssertionError("relaxation not observed")
+
+
+def main():
+    show_relaxation()
+
+    rtlcheck = RTLCheck.for_tso()
+    print("\n=== Verifying sb against the TSO µspec model ===")
+    result = rtlcheck.verify_test(get_test("sb"))
+    print(result.summary())
+    print("  the outcome under test was reachable "
+          f"(covering trace exists: "
+          f"{'final_values' in result.cover.fired_assumptions}), so the "
+          "proof phase ran — and every TSO axiom held.")
+
+    print("\n=== Seeding a LIFO-drain store-buffer bug ===")
+    buggy = rtlcheck.verify_test(get_test("mp"), memory_variant="buggy")
+    print(buggy.summary())
+    for prop in buggy.counterexamples[:3]:
+        print(f"  failing: {prop.name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without PEP 660 editable support.
+
+``pip install -e .`` normally uses pyproject.toml alone; offline
+environments missing the ``wheel`` package can fall back to
+``python setup.py develop`` through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""RTLCheck reproduction: verifying the memory consistency of RTL designs.
+
+This package reproduces Manerkar et al., *RTLCheck: Verifying the Memory
+Consistency of RTL Designs* (MICRO 2017): an automated flow from
+axiomatic µspec microarchitecture specifications to temporal
+SystemVerilog Assertions verified against RTL, evaluated on a multicore
+RISC-V V-scale processor across 56 litmus tests.
+
+Quickstart::
+
+    from repro import RTLCheck, get_test
+
+    rtlcheck = RTLCheck()
+    result = rtlcheck.verify_test(get_test("mp"), memory_variant="buggy")
+    print(result.summary())          # counterexample: the V-scale bug
+    result = rtlcheck.verify_test(get_test("mp"), memory_variant="fixed")
+    print(result.summary())          # verified
+
+Main entry points:
+
+* :class:`repro.core.RTLCheck` — the end-to-end flow (Figure 7).
+* :func:`repro.litmus.paper_suite` — the 56-test suite of Figures 13/14.
+* :func:`repro.uhb.microarch_observable` — Check-style µhb verification.
+* :class:`repro.vscale.MultiVScale` — the processor model (Figure 1).
+"""
+
+from repro.core.rtlcheck import RTLCheck
+from repro.core.results import TestVerification
+from repro.litmus.suite import get_test, paper_suite
+from repro.uspec.model import multi_vscale_model
+from repro.verifier.config import CONFIGS, FULL_PROOF, HYBRID
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CONFIGS",
+    "FULL_PROOF",
+    "HYBRID",
+    "RTLCheck",
+    "TestVerification",
+    "get_test",
+    "multi_vscale_model",
+    "paper_suite",
+    "__version__",
+]

@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    List the 56-test suite with thread/op counts and SC verdicts.
+``show <test>``
+    Pretty-print one litmus test.
+``generate <test> [-o FILE]``
+    Run the Assumption/Assertion Generators and emit SystemVerilog.
+``verify <test> [--memory buggy|fixed] [--config Hybrid|Full_Proof]``
+    End-to-end RTLCheck verification of one test.
+``microarch <test>``
+    Check-style µhb verification at the microarchitecture level.
+``suite [--memory ...] [--config ...]``
+    Verify the whole 56-test suite and print a summary table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import CONFIGS, RTLCheck, get_test, paper_suite
+from repro.litmus import compile_test
+from repro.memodel import sc_allowed
+from repro.uhb import microarch_observable
+from repro.uspec import multi_vscale_model
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory",
+        choices=["buggy", "fixed"],
+        default="fixed",
+        help="Multi-V-scale memory variant (default: fixed)",
+    )
+    parser.add_argument(
+        "--config",
+        choices=sorted(CONFIGS),
+        default="Full_Proof",
+        help="verifier engine configuration (default: Full_Proof)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RTLCheck reproduction (MICRO 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 56-test suite")
+
+    show = sub.add_parser("show", help="pretty-print one litmus test")
+    show.add_argument("test")
+
+    generate = sub.add_parser("generate", help="emit generated SVA")
+    generate.add_argument("test")
+    generate.add_argument("-o", "--output", help="write to file instead of stdout")
+    generate.add_argument(
+        "--with-design",
+        action="store_true",
+        help="emit the Verilog design together with the properties",
+    )
+    generate.add_argument(
+        "--memory",
+        choices=["buggy", "fixed"],
+        default="fixed",
+        help="memory variant for --with-design (default: fixed)",
+    )
+
+    verify = sub.add_parser("verify", help="verify one litmus test")
+    verify.add_argument("test")
+    _add_common(verify)
+    verify.add_argument(
+        "--no-cover-shortcut",
+        action="store_true",
+        help="always run the proof phase",
+    )
+
+    microarch = sub.add_parser("microarch", help="µhb-level verification")
+    microarch.add_argument("test")
+
+    lint = sub.add_parser("lint", help="check a µspec model's SVA synthesizability")
+    lint.add_argument(
+        "model",
+        nargs="?",
+        default="multi_vscale",
+        help="bundled model name or path to a .uspec file",
+    )
+
+    suite = sub.add_parser("suite", help="verify the whole suite")
+    _add_common(suite)
+    return parser
+
+
+def cmd_list(_args) -> int:
+    print(f"{'name':13s} {'threads':>7s} {'ops':>4s} {'SC verdict':>11s}")
+    for test in paper_suite():
+        verdict = "allowed" if sc_allowed(test) else "forbidden"
+        print(
+            f"{test.name:13s} {test.num_threads:>7d} "
+            f"{test.instruction_count():>4d} {verdict:>11s}"
+        )
+    return 0
+
+
+def cmd_show(args) -> int:
+    test = get_test(args.test)
+    print(test.pretty())
+    compiled = compile_test(test)
+    print("\nCompiled programs:")
+    for core, program in enumerate(compiled.programs):
+        listing = "; ".join(str(i) for i in program)
+        print(f"  core {core}: {listing}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    generated = RTLCheck().generate(get_test(args.test))
+    if args.with_design:
+        from repro.vscale import emit_verification_bundle
+
+        text = emit_verification_bundle(
+            generated.compiled, generated.sva_text, args.memory
+        )
+    else:
+        text = generated.sva_text
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(generated.assumptions)} assumptions and "
+            f"{len(generated.assertions)} assertions to {args.output}"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def cmd_verify(args) -> int:
+    rtlcheck = RTLCheck(config=CONFIGS[args.config])
+    result = rtlcheck.verify_test(
+        get_test(args.test),
+        memory_variant=args.memory,
+        skip_cover_shortcut=args.no_cover_shortcut,
+    )
+    print(result.summary())
+    for prop in result.properties:
+        extra = f" (bound {prop.verdict.bound})" if prop.status == "bounded" else ""
+        print(f"  {prop.name}: {prop.status}{extra}")
+    return 1 if result.bug_found else 0
+
+
+def cmd_microarch(args) -> int:
+    test = get_test(args.test)
+    result = microarch_observable(multi_vscale_model(), test)
+    print(result.summary())
+    return 0
+
+
+def cmd_lint(args) -> int:
+    import os
+
+    from repro.uspec import lint_model, lint_source
+    from repro.uspec.model import load_model
+
+    if os.path.exists(args.model):
+        with open(args.model) as handle:
+            report = lint_source(handle.read())
+    else:
+        report = lint_model(load_model(args.model))
+    print(report.render())
+    return 0 if report.synthesizable else 1
+
+
+def cmd_suite(args) -> int:
+    rtlcheck = RTLCheck(config=CONFIGS[args.config])
+    failures = 0
+    for test in paper_suite():
+        result = rtlcheck.verify_test(test, memory_variant=args.memory)
+        print(result.summary())
+        failures += result.bug_found
+    if failures:
+        print(f"\n{failures} tests produced counterexamples")
+    return 1 if failures else 0
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "show": cmd_show,
+    "generate": cmd_generate,
+    "verify": cmd_verify,
+    "microarch": cmd_microarch,
+    "lint": cmd_lint,
+    "suite": cmd_suite,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""The abstract machine atomic_mach of paper Figure 4."""
+
+from repro.atomic.machine import (
+    AxiomaticVerdict,
+    TemporalVerdict,
+    verify_axiomatic,
+    verify_temporal,
+)
+
+__all__ = [
+    "AxiomaticVerdict",
+    "TemporalVerdict",
+    "verify_axiomatic",
+    "verify_temporal",
+]

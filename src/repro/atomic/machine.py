@@ -1,0 +1,158 @@
+"""The abstract machine ``atomic_mach`` of paper Figure 4.
+
+``atomic_mach`` performs instructions atomically and in program order.
+The paper uses it to illustrate the semantic gap RTLCheck must bridge:
+the same verification question — "is mp's forbidden outcome
+observable?" — answered *axiomatically* (generate whole executions,
+check each against ``acyclic(po ∪ rf ∪ co ∪ fr)``, filter by outcome)
+and *temporally* (generate executions step by step as a tree, checking
+per-step properties, with outcome filtering only taking effect when the
+offending step actually occurs).
+
+Both verifiers below are deliberately written in the style the paper
+describes, including the temporal verifier's inability to check future
+violation of assumptions (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.litmus.test import LitmusTest
+from repro.memodel.axiomatic import (
+    CandidateExecution,
+    enumerate_candidates,
+    _matches_outcome,
+)
+
+
+@dataclass
+class AxiomaticVerdict:
+    """Result of whole-execution verification (Figure 4a)."""
+
+    observable: bool
+    executions_total: int
+    excluded_by_outcome: int
+    excluded_by_axiom: int
+    witnesses: int
+
+
+def verify_axiomatic(test: LitmusTest) -> AxiomaticVerdict:
+    """Figure 4a: enumerate candidate executions, strike out those with a
+    different outcome (dashed red) and those violating the SC axiom
+    (blue); the outcome is observable iff an execution survives."""
+    total = excluded_outcome = excluded_axiom = witnesses = 0
+    for candidate in enumerate_candidates(test):
+        total += 1
+        if not _matches_outcome(test, candidate):
+            excluded_outcome += 1
+            continue
+        if not candidate.is_sc():
+            excluded_axiom += 1
+            continue
+        witnesses += 1
+    return AxiomaticVerdict(
+        observable=witnesses > 0,
+        executions_total=total,
+        excluded_by_outcome=excluded_outcome,
+        excluded_by_axiom=excluded_axiom,
+        witnesses=witnesses,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Temporal verification (Figure 4b)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _State:
+    """A node of the temporal execution tree."""
+
+    pcs: Tuple[int, ...]
+    memory: Tuple[Tuple[str, int], ...]
+    loads: Tuple[Tuple[str, int], ...]  # output register -> value read
+
+    def memory_map(self) -> Dict[str, int]:
+        return dict(self.memory)
+
+
+@dataclass
+class TemporalVerdict:
+    """Result of step-by-step verification (Figure 4b)."""
+
+    observable: bool
+    steps_explored: int
+    partial_executions_pruned: int  # branches cut when an assumption fired
+    full_executions: int
+    witnesses: int
+
+
+def verify_temporal(test: LitmusTest) -> TemporalVerdict:
+    """Figure 4b: generate the execution tree step by step.
+
+    Each step atomically performs one instruction of some thread.  The
+    three temporal properties of SC on atomic_mach (program order, loads
+    read memory, stores update memory) hold by construction of the step
+    function; outcome *assumptions* are applied with no lookahead — a
+    branch is pruned only at the step where a load actually returns a
+    value contradicting the outcome (the paper's key observation about
+    SVA assumption semantics).
+    """
+    outcome_regs = test.outcome.register_map
+    final_mem = test.outcome.final_memory_map
+    verdict = TemporalVerdict(
+        observable=False,
+        steps_explored=0,
+        partial_executions_pruned=0,
+        full_executions=0,
+        witnesses=0,
+    )
+    initial = _State(
+        pcs=tuple(0 for _ in test.threads),
+        memory=tuple(sorted(test.initial_memory_map.items())),
+        loads=(),
+    )
+    seen: Set[_State] = {initial}
+    stack: List[_State] = [initial]
+    while stack:
+        state = stack.pop()
+        progressed = False
+        for thread, pc in enumerate(state.pcs):
+            ops = test.threads[thread]
+            if pc >= len(ops):
+                continue
+            progressed = True
+            op = ops[pc]
+            verdict.steps_explored += 1
+            memory = state.memory_map()
+            loads = dict(state.loads)
+            if op.is_store:
+                memory[op.addr] = op.value
+            elif op.is_load:
+                value = memory[op.addr]
+                loads[op.out] = value
+                if op.out in outcome_regs and outcome_regs[op.out] != value:
+                    # The assumption fires *now* and kills this branch;
+                    # it could not have been applied any earlier.
+                    verdict.partial_executions_pruned += 1
+                    continue
+            child = _State(
+                pcs=state.pcs[:thread] + (pc + 1,) + state.pcs[thread + 1 :],
+                memory=tuple(sorted(memory.items())),
+                loads=tuple(sorted(loads.items())),
+            )
+            if child not in seen:
+                seen.add(child)
+                stack.append(child)
+        if not progressed:
+            verdict.full_executions += 1
+            memory = state.memory_map()
+            loads = dict(state.loads)
+            if all(loads.get(r) == v for r, v in outcome_regs.items()) and all(
+                memory.get(a) == v for a, v in final_mem.items()
+            ):
+                verdict.witnesses += 1
+    verdict.observable = verdict.witnesses > 0
+    return verdict

@@ -1,0 +1,14 @@
+"""RTLCheck's core: assumption/assertion generation and the full flow."""
+
+from repro.core.assertions import AssertionGenerator, rewrite_negations
+from repro.core.results import PropertyResult, TestVerification
+from repro.core.rtlcheck import GeneratedProperties, RTLCheck
+
+__all__ = [
+    "AssertionGenerator",
+    "GeneratedProperties",
+    "PropertyResult",
+    "RTLCheck",
+    "TestVerification",
+    "rewrite_negations",
+]

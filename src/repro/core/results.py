@@ -1,0 +1,133 @@
+"""Result types for the end-to-end RTLCheck flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.litmus.test import LitmusTest
+from repro.rtl.design import Frame
+from repro.sva.ast import Directive
+from repro.verifier.engines import EngineVerdict
+from repro.verifier.explorer import ExplorationResult
+
+
+@dataclass
+class PropertyResult:
+    """One assertion's outcome under the configured verifier."""
+
+    name: str
+    verdict: EngineVerdict
+    ground_truth: ExplorationResult
+
+    @property
+    def status(self) -> str:
+        return self.verdict.status
+
+    @property
+    def proven(self) -> bool:
+        return self.verdict.proven
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict.failed
+
+    @property
+    def counterexample(self) -> Optional[List[Tuple[Dict[str, int], Frame]]]:
+        return self.ground_truth.counterexample
+
+
+@dataclass
+class TestVerification:
+    """Everything RTLCheck produced and concluded for one litmus test."""
+
+    __test__ = False  # "Test..." is the domain term, not a pytest class
+
+    test: LitmusTest
+    memory_variant: str
+    config_name: str
+    assumptions: List[Directive]
+    assertions: List[Directive]
+    sva_text: str
+    generation_seconds: float
+    cover: ExplorationResult
+    cover_hours: float
+    verified_by_cover: bool
+    properties: List[PropertyResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    # -- aggregate views -------------------------------------------------
+
+    @property
+    def counterexamples(self) -> List[PropertyResult]:
+        return [p for p in self.properties if p.failed]
+
+    @property
+    def bug_found(self) -> bool:
+        return bool(self.counterexamples)
+
+    @property
+    def verified(self) -> bool:
+        """Verified = discharged by unreachable covering trace, or no
+        property produced a counterexample."""
+        if self.bug_found:
+            return False
+        return True
+
+    @property
+    def proven_count(self) -> int:
+        return sum(1 for p in self.properties if p.proven)
+
+    @property
+    def bounded_count(self) -> int:
+        return sum(1 for p in self.properties if p.status == "bounded")
+
+    @property
+    def proven_fraction(self) -> float:
+        if not self.properties:
+            return 1.0
+        return self.proven_count / len(self.properties)
+
+    @property
+    def bounded_bounds(self) -> List[int]:
+        return [
+            p.verdict.bound
+            for p in self.properties
+            if p.status == "bounded" and p.verdict.bound is not None
+        ]
+
+    @property
+    def modeled_hours(self) -> float:
+        """Modeled runtime-to-verification (the Figure 13 metric): the
+        cover phase, plus — when the cover run was not conclusive — the
+        proof phase (its full allotment if any property stayed bounded,
+        else the slowest property's proof time)."""
+        if self.verified_by_cover:
+            return self.cover_hours
+        if not self.properties:
+            return self.cover_hours
+        if any(p.status == "bounded" for p in self.properties):
+            from repro.verifier.config import PROOF_PHASE_HOURS
+
+            return self.cover_hours + PROOF_PHASE_HOURS
+        proof = max(p.verdict.modeled_hours for p in self.properties)
+        return self.cover_hours + proof
+
+    def summary(self) -> str:
+        if self.bug_found:
+            names = ", ".join(p.name for p in self.counterexamples[:3])
+            return (
+                f"{self.test.name} [{self.memory_variant}]: COUNTEREXAMPLE "
+                f"({len(self.counterexamples)} failing properties, e.g. {names})"
+            )
+        if self.verified_by_cover:
+            return (
+                f"{self.test.name} [{self.memory_variant}]: verified — final-value "
+                f"assumption unreachable ({self.cover_hours:.2f} modeled hours)"
+            )
+        total = len(self.properties)
+        return (
+            f"{self.test.name} [{self.memory_variant}]: verified — "
+            f"{self.proven_count}/{total} properties fully proven, "
+            f"{self.bounded_count} bounded ({self.modeled_hours:.1f} modeled hours)"
+        )

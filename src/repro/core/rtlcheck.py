@@ -1,0 +1,187 @@
+"""The end-to-end RTLCheck flow (paper Figure 7).
+
+Inputs: a µspec microarchitecture model, an RTL design (Multi-V-scale),
+a litmus test, and the program/node mapping functions.  RTLCheck
+
+1. generates temporal SV assumptions constraining the verifier to the
+   litmus test's executions (Assumption Generator, §4.1),
+2. generates temporal SV assertions checking each µspec axiom with
+   outcome-aware translation (Assertion Generator, §4.2–4.4),
+3. hands both to the property verifier, which first hunts covering
+   traces for the assumptions (an unreachable final-value assumption
+   verifies the test outright) and then proves each assertion,
+   reporting complete proofs, bounded proofs, or counterexamples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.assertions import AssertionGenerator
+from repro.core.results import PropertyResult, TestVerification
+from repro.litmus.test import CompiledTest, LitmusTest, compile_test
+from repro.mapping.node_mapping import MultiVScaleNodeMapping
+from repro.mapping.program_mapping import MultiVScaleProgramMapping
+from repro.sva.ast import Directive
+from repro.sva.emit import emit_sva_file
+from repro.sva.monitor import AssumptionChecker, PropertyMonitor
+from repro.uspec.ast import Model
+from repro.uspec.model import load_model, multi_vscale_model
+from repro.verifier.config import EXPLORER_BUDGET, FULL_PROOF, VerifierConfig
+from repro.verifier.engines import EngineModel
+from repro.verifier.explorer import Explorer
+from repro.vscale.soc import MultiVScale
+
+
+@dataclass
+class GeneratedProperties:
+    """Output of RTLCheck's generation phase for one litmus test."""
+
+    compiled: CompiledTest
+    assumptions: List[Directive]
+    assertions: List[Directive]
+    sva_text: str
+    generation_seconds: float
+
+
+class RTLCheck:
+    """RTLCheck for the Multi-V-scale processors.
+
+    ``model`` defaults to the bundled Multi-V-scale µspec model;
+    ``config`` picks the verifier engine configuration (Table 1).
+    The design and mapping factories default to the paper's SC case
+    study; :meth:`for_tso` wires up the store-buffer (x86-TSO) variant
+    instead — RTLCheck itself is model- and design-agnostic (Figure 7).
+    """
+
+    def __init__(
+        self,
+        model: Optional[Model] = None,
+        config: VerifierConfig = FULL_PROOF,
+        design_factory=None,
+        node_mapping_factory=MultiVScaleNodeMapping,
+        program_mapping_factory=MultiVScaleProgramMapping,
+    ):
+        self.model = model or multi_vscale_model()
+        self.config = config
+        self.design_factory = design_factory or (
+            lambda compiled, variant: MultiVScale(compiled, variant)
+        )
+        self.node_mapping_factory = node_mapping_factory
+        self.program_mapping_factory = program_mapping_factory
+
+    @classmethod
+    def for_tso(cls, config: VerifierConfig = FULL_PROOF) -> "RTLCheck":
+        """RTLCheck configured for Multi-V-scale-TSO: the store-buffer
+        design, its µspec model, and the Memory-stage node mapping."""
+        from repro.mapping.tso_mapping import MultiVScaleTsoNodeMapping
+        from repro.vscale.tso import MultiVScaleTSO
+
+        def factory(compiled, variant):
+            # "buggy" selects the seeded LIFO-drain store buffer.
+            drain = "lifo" if variant == "buggy" else "fifo"
+            return MultiVScaleTSO(compiled, drain_order=drain)
+
+        return cls(
+            model=load_model("multi_vscale_tso"),
+            config=config,
+            design_factory=factory,
+            node_mapping_factory=MultiVScaleTsoNodeMapping,
+        )
+
+    # ------------------------------------------------------------------
+    # Generation (takes just seconds per test, §7 intro)
+    # ------------------------------------------------------------------
+
+    def generate(self, test: LitmusTest) -> GeneratedProperties:
+        """Run the Assumption and Assertion Generators for ``test``."""
+        start = time.perf_counter()
+        compiled = compile_test(test)
+        program_mapping = self.program_mapping_factory(compiled)
+        node_mapping = self.node_mapping_factory(compiled)
+        assumptions = program_mapping.all_assumptions()
+        assertions = AssertionGenerator(
+            model=self.model, compiled=compiled, node_mapping=node_mapping
+        ).generate()
+        sva_text = emit_sva_file(test.name, assumptions + assertions)
+        elapsed = time.perf_counter() - start
+        return GeneratedProperties(
+            compiled=compiled,
+            assumptions=assumptions,
+            assertions=assertions,
+            sva_text=sva_text,
+            generation_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify_test(
+        self,
+        test: LitmusTest,
+        memory_variant: str = "fixed",
+        skip_cover_shortcut: bool = False,
+    ) -> TestVerification:
+        """Generate properties for ``test`` and verify them against the
+        chosen Multi-V-scale memory variant."""
+        wall_start = time.perf_counter()
+        generated = self.generate(test)
+        design = self.design_factory(generated.compiled, memory_variant)
+        checker = AssumptionChecker(generated.assumptions)
+        explorer = Explorer(design, checker)
+        engine_model = EngineModel(self.config)
+
+        # Phase 1: covering traces for the assumptions (§4.1).
+        cover = explorer.cover_assumptions(EXPLORER_BUDGET)
+        cover_hours = engine_model.cover_hours(cover)
+        cover_conclusive = engine_model.cover_conclusive(cover)
+        final_unreachable = (
+            cover.exhausted and "final_values" not in cover.fired_assumptions
+        )
+        verified_by_cover = (
+            not skip_cover_shortcut and cover_conclusive and final_unreachable
+        )
+
+        result = TestVerification(
+            test=test,
+            memory_variant=memory_variant,
+            config_name=self.config.name,
+            assumptions=generated.assumptions,
+            assertions=generated.assertions,
+            sva_text=generated.sva_text,
+            generation_seconds=generated.generation_seconds,
+            cover=cover,
+            cover_hours=cover_hours,
+            verified_by_cover=verified_by_cover,
+        )
+        if verified_by_cover:
+            result.wall_seconds = time.perf_counter() - wall_start
+            return result
+
+        # Phase 2: prove each generated assertion.
+        for directive in generated.assertions:
+            monitor = PropertyMonitor(directive)
+            ground_truth = explorer.check_property(monitor, EXPLORER_BUDGET)
+            verdict = engine_model.judge_property(ground_truth, directive.name)
+            result.properties.append(
+                PropertyResult(
+                    name=directive.name,
+                    verdict=verdict,
+                    ground_truth=ground_truth,
+                )
+            )
+        result.wall_seconds = time.perf_counter() - wall_start
+        return result
+
+    def verify_suite(
+        self,
+        tests: List[LitmusTest],
+        memory_variant: str = "fixed",
+    ) -> Dict[str, TestVerification]:
+        """Verify a suite; returns results keyed by test name."""
+        return {
+            test.name: self.verify_test(test, memory_variant) for test in tests
+        }

@@ -1,0 +1,44 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded or decoded."""
+
+
+class LitmusError(ReproError):
+    """A litmus test is malformed or cannot be compiled."""
+
+
+class UspecError(ReproError):
+    """A µspec model failed to lex, parse, expand, or evaluate."""
+
+
+class UspecSyntaxError(UspecError):
+    """Syntactic problem in µspec source, with position information."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}, col {column}: {message}"
+        super().__init__(message)
+
+
+class MappingError(ReproError):
+    """A node or program mapping function could not map a request."""
+
+
+class SvaError(ReproError):
+    """An SVA property is malformed or unsupported by the monitor."""
+
+
+class RtlError(ReproError):
+    """An RTL model was driven illegally (bad signal width, X value, ...)."""
+
+
+class VerificationError(ReproError):
+    """The property verifier was misconfigured or hit an internal limit."""

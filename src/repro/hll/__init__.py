@@ -1,0 +1,49 @@
+"""Full-stack HLL (C11) layer: programs, oracle, mappings, checker."""
+
+from repro.hll.compile import (
+    MAPPINGS,
+    SC_MAPPING,
+    TSO_MAPPING,
+    TSO_MAPPING_BROKEN,
+    CompilerMapping,
+    compile_hll,
+)
+from repro.hll.model import c11_allowed, c11_forbidden
+from repro.hll.program import (
+    ACQUIRE,
+    RELAXED,
+    RELEASE,
+    SEQ_CST,
+    AtomicOp,
+    HllLitmusTest,
+    atomic_load,
+    atomic_store,
+    c11_corr,
+    c11_mp,
+    c11_sb,
+)
+from repro.hll.stack import FullStackResult, check_full_stack
+
+__all__ = [
+    "ACQUIRE",
+    "AtomicOp",
+    "CompilerMapping",
+    "FullStackResult",
+    "HllLitmusTest",
+    "MAPPINGS",
+    "RELAXED",
+    "RELEASE",
+    "SC_MAPPING",
+    "SEQ_CST",
+    "TSO_MAPPING",
+    "TSO_MAPPING_BROKEN",
+    "atomic_load",
+    "atomic_store",
+    "c11_allowed",
+    "c11_corr",
+    "c11_forbidden",
+    "c11_mp",
+    "c11_sb",
+    "check_full_stack",
+    "compile_hll",
+]

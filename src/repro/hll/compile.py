@@ -1,0 +1,92 @@
+"""Compiler mappings from C11 atomics to the RV32I litmus level.
+
+A compiler mapping says which instruction sequence implements each
+atomic operation on a target.  We provide:
+
+``SC_MAPPING``
+    For the sequentially consistent Multi-V-scale: every atomic is a
+    plain load/store (SC hardware implements every C11 order for free).
+
+``TSO_MAPPING``
+    For Multi-V-scale-TSO, the standard x86-style mapping: a ``seq_cst``
+    store is a plain store followed by a full fence (the
+    "trailing-fence" scheme); everything else is plain, because TSO
+    already provides acquire/release semantics.
+
+``TSO_MAPPING_BROKEN``
+    A deliberately wrong mapping that drops the ``seq_cst`` fences.
+    Dekker-style algorithms miscompile: the hardware exhibits outcomes
+    the source program forbids.  The full-stack checker catches this —
+    in miniature, the class of compiler-mapping bug the Check ecosystem
+    (TriCheck, and the paper's reference [36] on the C11→Power
+    trailing-sync flaw) was built to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.hll.program import AtomicOp, HllLitmusTest, SEQ_CST
+from repro.litmus.test import LitmusTest, MemOp, Outcome, fence, load, store
+
+
+@dataclass(frozen=True)
+class CompilerMapping:
+    """How each atomic op lowers to ISA-level litmus ops."""
+
+    name: str
+    description: str
+    lower: Callable[[AtomicOp], List[MemOp]]
+
+
+def _plain(op: AtomicOp) -> List[MemOp]:
+    if op.is_load:
+        return [load(op.var, op.out)]
+    return [store(op.var, op.value)]
+
+
+def _tso_trailing_fence(op: AtomicOp) -> List[MemOp]:
+    lowered = _plain(op)
+    if op.is_store and op.order == SEQ_CST:
+        lowered.append(fence())
+    return lowered
+
+
+SC_MAPPING = CompilerMapping(
+    name="sc-plain",
+    description="SC hardware: every atomic is a plain access",
+    lower=_plain,
+)
+
+TSO_MAPPING = CompilerMapping(
+    name="tso-trailing-fence",
+    description="x86-style: seq_cst stores get a trailing fence",
+    lower=_tso_trailing_fence,
+)
+
+TSO_MAPPING_BROKEN = CompilerMapping(
+    name="tso-broken-no-fence",
+    description="WRONG: seq_cst fences dropped (miscompiles Dekker)",
+    lower=_plain,
+)
+
+MAPPINGS: Dict[str, CompilerMapping] = {
+    m.name: m for m in (SC_MAPPING, TSO_MAPPING, TSO_MAPPING_BROKEN)
+}
+
+
+def compile_hll(test: HllLitmusTest, mapping: CompilerMapping) -> LitmusTest:
+    """Lower an HLL litmus test to the ISA litmus level via ``mapping``.
+
+    The candidate outcome carries over unchanged: load output names are
+    preserved by every mapping.
+    """
+    threads = []
+    for thread in test.threads:
+        ops: List[MemOp] = []
+        for op in thread:
+            ops.extend(mapping.lower(op))
+        threads.append(ops)
+    name = f"{test.name}@{mapping.name}"
+    return LitmusTest.of(name, threads, Outcome.of(test.outcome_map))

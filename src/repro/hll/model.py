@@ -1,0 +1,248 @@
+"""A (simplified) C11 consistency oracle for the supported subset.
+
+Given an :class:`~repro.hll.program.HllLitmusTest`, decides whether its
+candidate outcome is allowed by enumerating candidate executions
+(reads-from plus per-location modification order) and checking:
+
+* **happens-before** — ``hb = (sb ∪ sw)+`` must be irreflexive, where
+  ``sb`` is sequenced-before and ``sw`` synchronizes-with (a release
+  store read by an acquire load; with no RMWs a release sequence is
+  just its head, a documented simplification);
+* **coherence** — the four standard conditions (CoWW/CoRR/CoWR/CoRW)
+  relating hb, rf, and mo per location, with the initial value treated
+  as an mo-minimal write;
+* **seq_cst** — there must exist a total order S over all seq_cst
+  operations, consistent with hb and mo, in which every seq_cst load
+  reads the most recent same-location seq_cst write S-before it (or the
+  initial value if there is none).  This is the classic simplified
+  S-condition: it is exact when, per location, the writes read by
+  seq_cst loads are all seq_cst themselves, which covers our test
+  shapes; mixed-order corner cases of the full standard (the infamous
+  ``S`` clauses) are outside the supported subset.
+
+For all-seq_cst programs this model coincides with SC — a property the
+test suite checks against the independent SC oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.hll.program import AtomicOp, HllLitmusTest
+from repro.memodel.axiomatic import is_acyclic
+
+#: Sentinel for "reads the initial value".
+INIT = -1
+
+
+@dataclass(frozen=True)
+class _Event:
+    eid: int
+    thread: int
+    index: int
+    op: AtomicOp
+
+
+def _events(test: HllLitmusTest) -> List[_Event]:
+    out = []
+    eid = 0
+    for thread, ops in enumerate(test.threads):
+        for index, op in enumerate(ops):
+            out.append(_Event(eid, thread, index, op))
+            eid += 1
+    return out
+
+
+def _transitive_closure(n: int, edges: Set[Tuple[int, int]]) -> Set[Tuple[int, int]]:
+    reach = {i: set() for i in range(n)}
+    for a, b in edges:
+        reach[a].add(b)
+    changed = True
+    while changed:
+        changed = False
+        for a in range(n):
+            extra = set()
+            for b in reach[a]:
+                extra |= reach[b] - reach[a]
+            if extra:
+                reach[a] |= extra
+                changed = True
+    return {(a, b) for a in range(n) for b in reach[a]}
+
+
+class _Candidate:
+    def __init__(
+        self,
+        events: List[_Event],
+        rf: Dict[int, int],
+        mo: Dict[str, Tuple[int, ...]],
+    ):
+        self.events = events
+        self.rf = rf
+        self.mo = mo
+        self._by_eid = {e.eid: e for e in events}
+
+    # -- helpers -----------------------------------------------------------
+
+    def read_value(self, eid: int) -> int:
+        src = self.rf[eid]
+        if src == INIT:
+            return 0
+        return self._by_eid[src].op.value
+
+    def mo_position(self, var: str, eid: int) -> int:
+        """Position in var's modification order; INIT is -1."""
+        if eid == INIT:
+            return -1
+        return self.mo[var].index(eid)
+
+    # -- axioms ------------------------------------------------------------
+
+    def happens_before(self) -> Optional[Set[Tuple[int, int]]]:
+        n = len(self.events)
+        edges: Set[Tuple[int, int]] = set()
+        for a in self.events:
+            for b in self.events:
+                if a.thread == b.thread and a.index < b.index:
+                    edges.add((a.eid, b.eid))  # sb
+        # sw: release store read by an acquire load.
+        for load_eid, src in self.rf.items():
+            if src == INIT:
+                continue
+            load, src_event = self._by_eid[load_eid], self._by_eid[src]
+            if src_event.op.is_release and load.op.is_acquire:
+                edges.add((src, load_eid))
+        if not is_acyclic(n, edges):
+            return None
+        return _transitive_closure(n, edges)
+
+    def coherent(self, hb: Set[Tuple[int, int]]) -> bool:
+        for a in self.events:
+            for b in self.events:
+                if (a.eid, b.eid) not in hb or a.op.var != b.op.var:
+                    continue
+                var = a.op.var
+                if a.op.is_store and b.op.is_store:  # CoWW
+                    if self.mo_position(var, a.eid) > self.mo_position(var, b.eid):
+                        return False
+                elif a.op.is_load and b.op.is_load:  # CoRR
+                    if self.mo_position(var, self.rf[a.eid]) > self.mo_position(
+                        var, self.rf[b.eid]
+                    ):
+                        return False
+                elif a.op.is_store and b.op.is_load:  # CoWR
+                    if self.mo_position(var, self.rf[b.eid]) < self.mo_position(
+                        var, a.eid
+                    ):
+                        return False
+                else:  # CoRW
+                    if self.mo_position(var, self.rf[a.eid]) >= self.mo_position(
+                        var, b.eid
+                    ):
+                        return False
+        return True
+
+    def seq_cst_consistent(self, hb: Set[Tuple[int, int]]) -> bool:
+        sc_events = [e for e in self.events if e.op.is_seq_cst]
+        if not sc_events:
+            return True
+        # S must extend hb and (same-location) mo over sc events.
+        constraints: Set[Tuple[int, int]] = set()
+        ids = [e.eid for e in sc_events]
+        for a in sc_events:
+            for b in sc_events:
+                if (a.eid, b.eid) in hb:
+                    constraints.add((a.eid, b.eid))
+                if (
+                    a.op.is_store
+                    and b.op.is_store
+                    and a.op.var == b.op.var
+                    and self.mo_position(a.op.var, a.eid)
+                    < self.mo_position(b.op.var, b.eid)
+                ):
+                    constraints.add((a.eid, b.eid))
+        for order in itertools.permutations(ids):
+            position = {eid: i for i, eid in enumerate(order)}
+            if any(position[a] >= position[b] for a, b in constraints):
+                continue
+            if self._sc_reads_ok(order):
+                return True
+        return False
+
+    def _sc_reads_ok(self, order: Sequence[int]) -> bool:
+        position = {eid: i for i, eid in enumerate(order)}
+        for load_eid in order:
+            load = self._by_eid[load_eid]
+            if not load.op.is_load:
+                continue
+            last_sc_write = INIT
+            best = -1
+            for other_eid in order:
+                other = self._by_eid[other_eid]
+                if (
+                    other.op.is_store
+                    and other.op.var == load.op.var
+                    and position[other_eid] < position[load_eid]
+                    and position[other_eid] > best
+                ):
+                    best = position[other_eid]
+                    last_sc_write = other_eid
+            src = self.rf[load_eid]
+            src_is_sc = src != INIT and self._by_eid[src].op.is_seq_cst
+            if src_is_sc or src == INIT:
+                if src != last_sc_write and not (
+                    src == INIT and last_sc_write == INIT
+                ):
+                    return False
+            # Reads of non-seq_cst writes are permitted (simplification:
+            # the full standard restricts them via hb against S).
+        return True
+
+    def consistent(self) -> bool:
+        hb = self.happens_before()
+        if hb is None:
+            return False
+        return self.coherent(hb) and self.seq_cst_consistent(hb)
+
+    def matches(self, outcome: Dict[str, int]) -> bool:
+        for event in self.events:
+            if event.op.is_load and event.op.out in outcome:
+                if self.read_value(event.eid) != outcome[event.op.out]:
+                    return False
+        return True
+
+
+def enumerate_candidates(test: HllLitmusTest) -> Iterable[_Candidate]:
+    events = _events(test)
+    loads = [e for e in events if e.op.is_load]
+    stores_by_var: Dict[str, List[_Event]] = {}
+    for event in events:
+        if event.op.is_store:
+            stores_by_var.setdefault(event.op.var, []).append(event)
+    rf_choices = [
+        [INIT] + [s.eid for s in stores_by_var.get(load.op.var, [])] for load in loads
+    ]
+    mo_vars = sorted(stores_by_var)
+    mo_choices = [
+        [tuple(s.eid for s in perm) for perm in itertools.permutations(stores_by_var[v])]
+        for v in mo_vars
+    ]
+    for rf_combo in itertools.product(*rf_choices):
+        rf = {load.eid: src for load, src in zip(loads, rf_combo)}
+        for mo_combo in itertools.product(*mo_choices):
+            yield _Candidate(events, rf, dict(zip(mo_vars, mo_combo)))
+
+
+def c11_allowed(test: HllLitmusTest) -> bool:
+    """Is the candidate outcome allowed by the (simplified) C11 model?"""
+    outcome = test.outcome_map
+    return any(
+        candidate.matches(outcome) and candidate.consistent()
+        for candidate in enumerate_candidates(test)
+    )
+
+
+def c11_forbidden(test: HllLitmusTest) -> bool:
+    return not c11_allowed(test)

@@ -1,0 +1,201 @@
+"""High-level-language (C11-style) atomic litmus tests.
+
+The paper's fourth contribution is that, with RTLCheck closing the
+microarchitecture→RTL link, the Check suite spans "from HLLs (C11,
+etc.) through compiler mappings, the OS, ISA, and microarchitecture,
+all the way down to RTL".  This package supplies the HLL end of that
+stack: litmus tests over C11 atomic loads/stores with memory orders,
+a (documented, simplified) C11 consistency oracle, compiler mappings to
+the RV32I litmus level, and a full-stack checker.
+
+Supported subset: atomic loads and stores with ``relaxed``, ``acquire``,
+``release``, and ``seq_cst`` orders (no RMWs, no non-atomics, no HLL
+fences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LitmusError
+
+#: Supported memory orders.
+RELAXED = "relaxed"
+ACQUIRE = "acquire"
+RELEASE = "release"
+SEQ_CST = "seq_cst"
+
+ORDERS = (RELAXED, ACQUIRE, RELEASE, SEQ_CST)
+_LOAD_ORDERS = (RELAXED, ACQUIRE, SEQ_CST)
+_STORE_ORDERS = (RELAXED, RELEASE, SEQ_CST)
+
+
+@dataclass(frozen=True)
+class AtomicOp:
+    """One C11 atomic operation."""
+
+    kind: str  # 'R' or 'W'
+    var: str
+    order: str
+    value: Optional[int] = None  # stores
+    out: Optional[str] = None  # loads
+
+    def __post_init__(self):
+        if self.kind not in ("R", "W"):
+            raise LitmusError(f"bad atomic op kind {self.kind!r}")
+        if self.kind == "R" and self.order not in _LOAD_ORDERS:
+            raise LitmusError(f"loads cannot be {self.order}")
+        if self.kind == "W" and self.order not in _STORE_ORDERS:
+            raise LitmusError(f"stores cannot be {self.order}")
+        if self.kind == "R" and self.out is None:
+            raise LitmusError("atomic load needs an output name")
+        if self.kind == "W" and self.value is None:
+            raise LitmusError("atomic store needs a value")
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind == "R"
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind == "W"
+
+    @property
+    def is_seq_cst(self) -> bool:
+        return self.order == SEQ_CST
+
+    @property
+    def is_release(self) -> bool:
+        return self.order in (RELEASE, SEQ_CST)
+
+    @property
+    def is_acquire(self) -> bool:
+        return self.order in (ACQUIRE, SEQ_CST)
+
+    def __str__(self):
+        if self.is_load:
+            return f"{self.out} = {self.var}.load({self.order})"
+        return f"{self.var}.store({self.value}, {self.order})"
+
+
+def atomic_load(var: str, out: str, order: str = SEQ_CST) -> AtomicOp:
+    return AtomicOp(kind="R", var=var, order=order, out=out)
+
+
+def atomic_store(var: str, value: int, order: str = SEQ_CST) -> AtomicOp:
+    return AtomicOp(kind="W", var=var, order=order, value=value)
+
+
+@dataclass(frozen=True)
+class HllLitmusTest:
+    """A C11-style litmus test with a candidate outcome."""
+
+    name: str
+    threads: Tuple[Tuple[AtomicOp, ...], ...]
+    outcome: Tuple[Tuple[str, int], ...]
+
+    @staticmethod
+    def of(
+        name: str,
+        threads: Sequence[Sequence[AtomicOp]],
+        outcome: Dict[str, int],
+    ) -> "HllLitmusTest":
+        test = HllLitmusTest(
+            name=name,
+            threads=tuple(tuple(t) for t in threads),
+            outcome=tuple(sorted(outcome.items())),
+        )
+        outs = [op.out for t in test.threads for op in t if op.is_load]
+        if len(outs) != len(set(outs)):
+            raise LitmusError(f"{name}: duplicate load output names")
+        for reg, _v in test.outcome:
+            if reg not in outs:
+                raise LitmusError(f"{name}: outcome register {reg} has no load")
+        return test
+
+    @property
+    def outcome_map(self) -> Dict[str, int]:
+        return dict(self.outcome)
+
+    @property
+    def variables(self) -> List[str]:
+        seen: List[str] = []
+        for thread in self.threads:
+            for op in thread:
+                if op.var not in seen:
+                    seen.append(op.var)
+        return seen
+
+    def with_order(self, order: str, name_suffix: str = "") -> "HllLitmusTest":
+        """A copy with every op's memory order replaced (handy for
+        comparing seq_cst vs relaxed variants of one shape)."""
+        threads = []
+        for thread in self.threads:
+            ops = []
+            for op in thread:
+                if op.is_load:
+                    new_order = order if order in _LOAD_ORDERS else ACQUIRE
+                    ops.append(atomic_load(op.var, op.out, new_order))
+                else:
+                    new_order = order if order in _STORE_ORDERS else RELEASE
+                    ops.append(atomic_store(op.var, op.value, new_order))
+            threads.append(ops)
+        return HllLitmusTest.of(
+            self.name + (name_suffix or f"+{order}"), threads, self.outcome_map
+        )
+
+    def pretty(self) -> str:
+        lines = [f"C11 litmus test {self.name}:"]
+        for tid, thread in enumerate(self.threads):
+            lines.append(f"  thread {tid}:")
+            for op in thread:
+                lines.append(f"    {op}")
+        outcome = ", ".join(f"{r}={v}" for r, v in self.outcome)
+        lines.append(f"  outcome under test: {outcome}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The classic shapes, parameterized by memory order.
+# ---------------------------------------------------------------------------
+
+
+def c11_mp(store_order: str = SEQ_CST, load_order: str = SEQ_CST) -> HllLitmusTest:
+    """Message passing: the flag protocol of the paper's Figure 2."""
+    return HllLitmusTest.of(
+        f"c11-mp[{store_order}/{load_order}]",
+        [
+            [atomic_store("x", 1, store_order), atomic_store("y", 1, store_order)],
+            [atomic_load("y", "r1", load_order), atomic_load("x", "r2", load_order)],
+        ],
+        {"r1": 1, "r2": 0},
+    )
+
+
+def c11_sb(order: str = SEQ_CST) -> HllLitmusTest:
+    """Store buffering (Dekker): needs seq_cst to be forbidden."""
+    store_order = order if order in _STORE_ORDERS else RELEASE
+    load_order = order if order in _LOAD_ORDERS else ACQUIRE
+    return HllLitmusTest.of(
+        f"c11-sb[{order}]",
+        [
+            [atomic_store("x", 1, store_order), atomic_load("y", "r1", load_order)],
+            [atomic_store("y", 1, store_order), atomic_load("x", "r2", load_order)],
+        ],
+        {"r1": 0, "r2": 0},
+    )
+
+
+def c11_corr(order: str = RELAXED) -> HllLitmusTest:
+    """Coherence of read-read: forbidden at every order."""
+    return HllLitmusTest.of(
+        f"c11-corr[{order}]",
+        [
+            [atomic_store("x", 1, order if order in _STORE_ORDERS else RELEASE),
+             atomic_store("x", 2, order if order in _STORE_ORDERS else RELEASE)],
+            [atomic_load("x", "r1", order if order in _LOAD_ORDERS else ACQUIRE),
+             atomic_load("x", "r2", order if order in _LOAD_ORDERS else ACQUIRE)],
+        ],
+        {"r1": 2, "r2": 1},
+    )

@@ -1,0 +1,113 @@
+"""The full-stack checker: HLL → compiler mapping → ISA → µhb → RTL.
+
+For one C11 litmus test, a compiler mapping, and a target platform,
+this runs the whole pipeline the paper's contribution list describes:
+
+1. decide the outcome's verdict under the (simplified) C11 model;
+2. compile the test to the ISA litmus level through the mapping;
+3. run RTLCheck against the platform's RTL: the covering-trace phase
+   decides whether the compiled outcome is *reachable in hardware*, and
+   the assertion phase verifies the platform against its own µspec
+   axioms.
+
+The stack is **sound** for this test iff hardware reachability implies
+HLL permission: an outcome the source program forbids must not be
+producible by the compiled program on the actual RTL.  A violation
+localizes to the compiler mapping whenever the RTL itself verifies
+against its µspec model (the hardware keeps its own contract, so the
+lowering broke the source guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rtlcheck import RTLCheck
+from repro.core.results import TestVerification
+from repro.hll.compile import CompilerMapping, compile_hll
+from repro.hll.model import c11_allowed
+from repro.hll.program import HllLitmusTest
+from repro.litmus.test import LitmusTest
+from repro.verifier.config import FULL_PROOF, VerifierConfig
+
+
+@dataclass
+class FullStackResult:
+    """Everything the stack concluded about one HLL test."""
+
+    hll_test: HllLitmusTest
+    mapping_name: str
+    platform: str
+    isa_test: LitmusTest
+    hll_allowed: bool
+    rtl_reachable: bool
+    rtl_verification: TestVerification
+
+    @property
+    def design_keeps_its_contract(self) -> bool:
+        """Did the RTL satisfy its own µspec axioms?"""
+        return self.rtl_verification.verified
+
+    @property
+    def stack_sound(self) -> bool:
+        """Hardware must not exhibit what the source forbids."""
+        return self.hll_allowed or not self.rtl_reachable
+
+    @property
+    def mapping_bug(self) -> bool:
+        """An unsound stack over a contract-keeping design is a
+        compiler-mapping bug."""
+        return not self.stack_sound and self.design_keeps_its_contract
+
+    def summary(self) -> str:
+        hll = "allowed" if self.hll_allowed else "FORBIDDEN"
+        rtl = "reachable" if self.rtl_reachable else "unreachable"
+        lines = [
+            f"{self.hll_test.name} via {self.mapping_name} on {self.platform}:",
+            f"  C11 verdict:        outcome {hll}",
+            f"  RTL reachability:   outcome {rtl} on the compiled program",
+            f"  design vs µspec:    "
+            f"{'verified' if self.design_keeps_its_contract else 'COUNTEREXAMPLE'}",
+        ]
+        if self.mapping_bug:
+            lines.append(
+                "  => COMPILER MAPPING BUG: the hardware keeps its own "
+                "contract but exhibits an outcome the source forbids"
+            )
+        elif not self.stack_sound:
+            lines.append("  => STACK UNSOUND (hardware violates its own axioms)")
+        else:
+            lines.append("  => stack sound for this test")
+        return "\n".join(lines)
+
+
+def check_full_stack(
+    hll_test: HllLitmusTest,
+    mapping: CompilerMapping,
+    platform: str = "tso",
+    config: VerifierConfig = FULL_PROOF,
+) -> FullStackResult:
+    """Run the HLL→RTL pipeline for one test.
+
+    ``platform`` is ``"sc"`` (Multi-V-scale) or ``"tso"``
+    (Multi-V-scale-TSO).
+    """
+    if platform == "sc":
+        rtlcheck = RTLCheck(config=config)
+    elif platform == "tso":
+        rtlcheck = RTLCheck.for_tso(config=config)
+    else:
+        raise ValueError(f"unknown platform {platform!r}")
+
+    isa_test = compile_hll(hll_test, mapping)
+    verification = rtlcheck.verify_test(isa_test)
+    reachable = "final_values" in verification.cover.fired_assumptions
+    return FullStackResult(
+        hll_test=hll_test,
+        mapping_name=mapping.name,
+        platform=platform,
+        isa_test=isa_test,
+        hll_allowed=c11_allowed(hll_test),
+        rtl_reachable=reachable,
+        rtl_verification=verification,
+    )

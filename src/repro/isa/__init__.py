@@ -1,0 +1,28 @@
+"""RV32I subset: instruction objects and binary encoding."""
+
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import (
+    NUM_REGS,
+    Addi,
+    Fence,
+    Halt,
+    Instruction,
+    Lui,
+    Lw,
+    Nop,
+    Sw,
+)
+
+__all__ = [
+    "NUM_REGS",
+    "Addi",
+    "Fence",
+    "Halt",
+    "Instruction",
+    "Lui",
+    "Lw",
+    "Nop",
+    "Sw",
+    "decode",
+    "encode",
+]

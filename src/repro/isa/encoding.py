@@ -1,0 +1,132 @@
+"""RV32I binary encoding for the litmus-test instruction subset.
+
+The generated SV assumptions initialize instruction memory with real
+32-bit RISC-V encodings (paper Figure 8 shows e.g.
+``{7'b0,5'd2,5'd1,3'd2,5'b0,`RV32_STORE}`` for ``sw x2, 0(x1)``), so the
+simulator decodes genuine machine words rather than symbolic tokens.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instructions import (
+    Addi,
+    Fence,
+    Halt,
+    Instruction,
+    Lui,
+    Lw,
+    Nop,
+    Sw,
+)
+
+# Base RV32I opcodes (7 bits).
+OPCODE_LOAD = 0b0000011
+OPCODE_STORE = 0b0100011
+OPCODE_OP_IMM = 0b0010011
+OPCODE_LUI = 0b0110111
+OPCODE_FENCE = 0b0001111
+#: custom-0 opcode, used for the paper's added HALT instruction.
+OPCODE_HALT = 0b0001011
+
+FUNCT3_WORD = 0b010
+FUNCT3_ADDI = 0b000
+
+WORD_MASK = 0xFFFFFFFF
+
+
+def _field(value: int, width: int, name: str) -> int:
+    if not 0 <= value < (1 << width):
+        raise EncodingError(f"{name} does not fit in {width} bits: {value}")
+    return value
+
+
+def _imm12_bits(imm: int) -> int:
+    if not -2048 <= imm <= 2047:
+        raise EncodingError(f"12-bit immediate out of range: {imm}")
+    return imm & 0xFFF
+
+
+def encode(instr: Instruction) -> int:
+    """Encode ``instr`` into its 32-bit RV32I machine word."""
+    if isinstance(instr, Lw):
+        return (
+            (_imm12_bits(instr.imm) << 20)
+            | (_field(instr.rs1, 5, "rs1") << 15)
+            | (FUNCT3_WORD << 12)
+            | (_field(instr.rd, 5, "rd") << 7)
+            | OPCODE_LOAD
+        )
+    if isinstance(instr, Sw):
+        imm = _imm12_bits(instr.imm)
+        imm_hi, imm_lo = imm >> 5, imm & 0x1F
+        return (
+            (imm_hi << 25)
+            | (_field(instr.rs2, 5, "rs2") << 20)
+            | (_field(instr.rs1, 5, "rs1") << 15)
+            | (FUNCT3_WORD << 12)
+            | (imm_lo << 7)
+            | OPCODE_STORE
+        )
+    if isinstance(instr, Addi):
+        return (
+            (_imm12_bits(instr.imm) << 20)
+            | (_field(instr.rs1, 5, "rs1") << 15)
+            | (FUNCT3_ADDI << 12)
+            | (_field(instr.rd, 5, "rd") << 7)
+            | OPCODE_OP_IMM
+        )
+    if isinstance(instr, Lui):
+        return (_field(instr.imm20, 20, "imm20") << 12) | (
+            _field(instr.rd, 5, "rd") << 7
+        ) | OPCODE_LUI
+    if isinstance(instr, Fence):
+        return OPCODE_FENCE
+    if isinstance(instr, Halt):
+        return OPCODE_HALT
+    if isinstance(instr, Nop):
+        return encode(Addi(rd=0, rs1=0, imm=0))
+    raise EncodingError(f"cannot encode {instr!r}")
+
+
+def _sext12(bits: int) -> int:
+    return bits - 0x1000 if bits & 0x800 else bits
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit machine word back into an :class:`Instruction`.
+
+    Raises :class:`EncodingError` on words outside the supported subset
+    (the simulator treats those as illegal instructions).
+    """
+    if not 0 <= word <= WORD_MASK:
+        raise EncodingError(f"machine word out of range: {word:#x}")
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+
+    if opcode == OPCODE_LOAD:
+        if funct3 != FUNCT3_WORD:
+            raise EncodingError(f"unsupported load funct3: {funct3}")
+        return Lw(rd=rd, rs1=rs1, imm=_sext12(word >> 20))
+    if opcode == OPCODE_STORE:
+        if funct3 != FUNCT3_WORD:
+            raise EncodingError(f"unsupported store funct3: {funct3}")
+        imm = ((word >> 25) << 5) | rd
+        return Sw(rs1=rs1, rs2=rs2, imm=_sext12(imm))
+    if opcode == OPCODE_OP_IMM:
+        if funct3 != FUNCT3_ADDI:
+            raise EncodingError(f"unsupported op-imm funct3: {funct3}")
+        instr = Addi(rd=rd, rs1=rs1, imm=_sext12(word >> 20))
+        if instr == Addi(rd=0, rs1=0, imm=0):
+            return Nop()
+        return instr
+    if opcode == OPCODE_LUI:
+        return Lui(rd=rd, imm20=word >> 12)
+    if opcode == OPCODE_FENCE:
+        return Fence()
+    if opcode == OPCODE_HALT:
+        return Halt()
+    raise EncodingError(f"unsupported opcode {opcode:#09b} in word {word:#010x}")

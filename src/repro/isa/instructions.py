@@ -1,0 +1,146 @@
+"""Instruction objects for the RV32I subset used by litmus tests.
+
+The Multi-V-scale cores execute a small subset of RV32I: loads, stores,
+ADDI/LUI for register setup, and a custom HALT instruction (the paper
+adds halt logic to V-scale because RISC-V has no architectural halt).
+Each instruction is a frozen dataclass; :mod:`repro.isa.encoding` turns
+them into 32-bit words and back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of integer registers in RV32I.
+NUM_REGS = 32
+
+
+def _check_reg(name: str, value: int) -> None:
+    if not 0 <= value < NUM_REGS:
+        raise ValueError(f"{name} must be in [0, {NUM_REGS}), got {value}")
+
+
+def _check_imm12(value: int) -> None:
+    if not -2048 <= value <= 2047:
+        raise ValueError(f"12-bit immediate out of range: {value}")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for decoded instructions."""
+
+    @property
+    def is_load(self) -> bool:
+        return isinstance(self, Lw)
+
+    @property
+    def is_store(self) -> bool:
+        return isinstance(self, Sw)
+
+    @property
+    def is_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_halt(self) -> bool:
+        return isinstance(self, Halt)
+
+
+@dataclass(frozen=True)
+class Lw(Instruction):
+    """Load word: ``rd <- mem[rs1 + imm]``."""
+
+    rd: int
+    rs1: int
+    imm: int = 0
+
+    def __post_init__(self):
+        _check_reg("rd", self.rd)
+        _check_reg("rs1", self.rs1)
+        _check_imm12(self.imm)
+
+    def __str__(self):
+        return f"lw x{self.rd}, {self.imm}(x{self.rs1})"
+
+
+@dataclass(frozen=True)
+class Sw(Instruction):
+    """Store word: ``mem[rs1 + imm] <- rs2``."""
+
+    rs1: int
+    rs2: int
+    imm: int = 0
+
+    def __post_init__(self):
+        _check_reg("rs1", self.rs1)
+        _check_reg("rs2", self.rs2)
+        _check_imm12(self.imm)
+
+    def __str__(self):
+        return f"sw x{self.rs2}, {self.imm}(x{self.rs1})"
+
+
+@dataclass(frozen=True)
+class Addi(Instruction):
+    """Add immediate: ``rd <- rs1 + imm``."""
+
+    rd: int
+    rs1: int
+    imm: int
+
+    def __post_init__(self):
+        _check_reg("rd", self.rd)
+        _check_reg("rs1", self.rs1)
+        _check_imm12(self.imm)
+
+    def __str__(self):
+        return f"addi x{self.rd}, x{self.rs1}, {self.imm}"
+
+
+@dataclass(frozen=True)
+class Lui(Instruction):
+    """Load upper immediate: ``rd <- imm20 << 12``."""
+
+    rd: int
+    imm20: int
+
+    def __post_init__(self):
+        _check_reg("rd", self.rd)
+        if not 0 <= self.imm20 < (1 << 20):
+            raise ValueError(f"20-bit immediate out of range: {self.imm20}")
+
+    def __str__(self):
+        return f"lui x{self.rd}, {self.imm20:#x}"
+
+
+@dataclass(frozen=True)
+class Fence(Instruction):
+    """Memory fence.
+
+    On the in-order Multi-V-scale this is a no-op in the datapath (the
+    arbiter already serializes memory), but litmus tests for weaker
+    models may include it, and the µspec model can attach axioms to it.
+    """
+
+    def __str__(self):
+        return "fence"
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    """Custom halt instruction (custom-0 opcode).
+
+    The paper adds halt logic so a litmus thread can be stopped once it
+    has executed its instructions; we do the same.
+    """
+
+    def __str__(self):
+        return "halt"
+
+
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """Encoded as ``addi x0, x0, 0``; kept distinct for readability."""
+
+    def __str__(self):
+        return "nop"

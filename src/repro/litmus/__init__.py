@@ -1,0 +1,53 @@
+"""Litmus tests: representation, parsing, diy-style generation, suite."""
+
+from repro.litmus.diy import (
+    CYCLE_EDGES,
+    EdgeSpec,
+    cycle_signature,
+    enumerate_cycles,
+    generate_from_cycle,
+    validate_cycle,
+)
+from repro.litmus.parser import format_litmus, parse_litmus, parse_suite
+from repro.litmus.suite import (
+    PAPER_TEST_NAMES,
+    diy_cycle_of,
+    get_test,
+    paper_suite,
+)
+from repro.litmus.test import (
+    CompiledOp,
+    CompiledTest,
+    LitmusTest,
+    MemOp,
+    Outcome,
+    compile_test,
+    fence,
+    load,
+    store,
+)
+
+__all__ = [
+    "CYCLE_EDGES",
+    "CompiledOp",
+    "CompiledTest",
+    "EdgeSpec",
+    "LitmusTest",
+    "MemOp",
+    "Outcome",
+    "PAPER_TEST_NAMES",
+    "compile_test",
+    "cycle_signature",
+    "diy_cycle_of",
+    "enumerate_cycles",
+    "fence",
+    "format_litmus",
+    "generate_from_cycle",
+    "get_test",
+    "load",
+    "parse_litmus",
+    "parse_suite",
+    "paper_suite",
+    "store",
+    "validate_cycle",
+]

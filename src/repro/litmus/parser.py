@@ -1,0 +1,151 @@
+"""Text format for litmus tests.
+
+The format mirrors how the paper presents tests (Figure 2)::
+
+    litmus mp
+    init: x=0, y=0          # optional; variables default to 0
+    core 0:
+      [x] <- 1
+      [y] <- 1
+    core 1:
+      r1 <- [y]
+      r2 <- [x]
+    outcome: r1=1, r2=0     # the candidate outcome under test
+    final: x=1              # optional final-memory conditions
+
+``#`` starts a comment.  ``fence`` on its own line inserts a fence.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.errors import LitmusError
+from repro.litmus.test import LitmusTest, MemOp, Outcome, fence, load, store
+
+_NAME_RE = re.compile(r"^litmus\s+(\S+)$")
+_CORE_RE = re.compile(r"^core\s+(\d+)\s*:$")
+_STORE_RE = re.compile(r"^\[(\w+)\]\s*<-\s*(-?\d+)$")
+_LOAD_RE = re.compile(r"^(\w+)\s*<-\s*\[(\w+)\]$")
+_BINDING_RE = re.compile(r"^\[?(\w+)\]?\s*=\s*(-?\d+)$")
+
+
+def _parse_bindings(text: str, where: str) -> Dict[str, int]:
+    bindings: Dict[str, int] = {}
+    body = text.strip()
+    if not body:
+        return bindings
+    for part in re.split(r"[,&]|/\\", body):
+        part = part.strip()
+        if not part:
+            continue
+        match = _BINDING_RE.match(part)
+        if match is None:
+            raise LitmusError(f"{where}: cannot parse binding {part!r}")
+        bindings[match.group(1)] = int(match.group(2))
+    return bindings
+
+
+def parse_litmus(source: str) -> LitmusTest:
+    """Parse one litmus test from ``source``.
+
+    Raises :class:`~repro.errors.LitmusError` with the offending line on
+    malformed input.
+    """
+    name: Optional[str] = None
+    threads: List[List[MemOp]] = []
+    current: Optional[List[MemOp]] = None
+    outcome_regs: Dict[str, int] = {}
+    final_mem: Dict[str, int] = {}
+    init_mem: Dict[str, int] = {}
+    saw_outcome = False
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        match = _NAME_RE.match(line)
+        if match:
+            if name is not None:
+                raise LitmusError(f"line {lineno}: duplicate 'litmus' header")
+            name = match.group(1)
+            continue
+
+        lowered = line.lower()
+        if lowered.startswith("init:"):
+            init_mem.update(_parse_bindings(line[5:], f"line {lineno}"))
+            continue
+        if lowered.startswith(("outcome:", "forbid:", "allow:")):
+            saw_outcome = True
+            body = line.split(":", 1)[1]
+            outcome_regs.update(_parse_bindings(body, f"line {lineno}"))
+            current = None
+            continue
+        if lowered.startswith("final:"):
+            final_mem.update(_parse_bindings(line[6:], f"line {lineno}"))
+            current = None
+            continue
+
+        match = _CORE_RE.match(line)
+        if match:
+            core = int(match.group(1))
+            while len(threads) <= core:
+                threads.append([])
+            current = threads[core]
+            continue
+
+        if current is None:
+            raise LitmusError(f"line {lineno}: instruction outside a core block: {line!r}")
+        if line == "fence":
+            current.append(fence())
+            continue
+        match = _STORE_RE.match(line)
+        if match:
+            current.append(store(match.group(1), int(match.group(2))))
+            continue
+        match = _LOAD_RE.match(line)
+        if match:
+            current.append(load(match.group(2), match.group(1)))
+            continue
+        raise LitmusError(f"line {lineno}: cannot parse instruction {line!r}")
+
+    if name is None:
+        raise LitmusError("missing 'litmus <name>' header")
+    if not threads:
+        raise LitmusError(f"{name}: no core blocks")
+    if not saw_outcome:
+        raise LitmusError(f"{name}: no outcome")
+    return LitmusTest.of(
+        name,
+        threads,
+        Outcome.of(outcome_regs, final_mem),
+        initial_memory=init_mem,
+    )
+
+
+def format_litmus(test: LitmusTest) -> str:
+    """Render ``test`` back into the text format (parse/format round-trip)."""
+    lines = [f"litmus {test.name}"]
+    explicit_init = dict(test.initial_memory)
+    if explicit_init:
+        lines.append("init: " + ", ".join(f"{k}={v}" for k, v in sorted(explicit_init.items())))
+    for core, thread in enumerate(test.threads):
+        lines.append(f"core {core}:")
+        for op in thread:
+            lines.append(f"  {op}")
+    lines.append(
+        "outcome: " + ", ".join(f"{r}={v}" for r, v in test.outcome.registers)
+    )
+    if test.outcome.final_memory:
+        lines.append(
+            "final: " + ", ".join(f"{a}={v}" for a, v in test.outcome.final_memory)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_suite(source: str) -> List[LitmusTest]:
+    """Parse several tests separated by lines of ``---``."""
+    chunks = re.split(r"^\s*---+\s*$", source, flags=re.MULTILINE)
+    return [parse_litmus(chunk) for chunk in chunks if chunk.strip()]

@@ -1,0 +1,308 @@
+"""Litmus test representation and compilation to RV32I programs.
+
+A litmus test is a small multi-threaded program over a handful of shared
+variables, plus a *candidate outcome*: the register values (and
+optionally final memory values) whose observability is under test
+(paper Figure 2 shows ``mp``).  Whether the outcome is forbidden under a
+given consistency model is decided by the oracles in
+:mod:`repro.memodel`, not stored as ground truth here.
+
+Compilation assigns each shared variable a word address in data memory
+and each memory operation a single ``lw``/``sw`` instruction whose
+address/data registers are *pre-initialized* — matching the paper's
+program-mapping approach of initializing registers through SV
+assumptions (Figure 8) so that every litmus instruction occupies exactly
+one pipeline slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LitmusError
+from repro.isa import Fence, Halt, Instruction, Lw, Sw
+
+#: Word index where litmus variables live.  The address space mirrors the
+#: paper's Figure 8 layout: word 0 is never a real instruction (PC 0 is
+#: the pipeline-bubble sentinel), instruction words for the four cores
+#: occupy low memory, and litmus data sits above them.
+DATA_BASE_WORD = 40
+#: One-past-the-last data word of the Multi-V-scale model.
+DATA_MEM_WORDS = 48
+
+
+@dataclass(frozen=True)
+class MemOp:
+    """One litmus-level operation on a thread.
+
+    ``kind`` is ``"R"`` (load), ``"W"`` (store), or ``"F"`` (fence).
+    Loads name an output register (``out``); stores carry a ``value``.
+    """
+
+    kind: str
+    addr: Optional[str] = None
+    value: Optional[int] = None
+    out: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in ("R", "W", "F"):
+            raise LitmusError(f"bad op kind: {self.kind!r}")
+        if self.kind == "R" and (self.addr is None or self.out is None):
+            raise LitmusError("load needs addr and out")
+        if self.kind == "W" and (self.addr is None or self.value is None):
+            raise LitmusError("store needs addr and value")
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind == "R"
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind == "W"
+
+    @property
+    def is_fence(self) -> bool:
+        return self.kind == "F"
+
+    def __str__(self):
+        if self.is_load:
+            return f"{self.out} <- [{self.addr}]"
+        if self.is_store:
+            return f"[{self.addr}] <- {self.value}"
+        return "fence"
+
+
+def load(addr: str, out: str) -> MemOp:
+    """Convenience constructor: ``out <- [addr]``."""
+    return MemOp(kind="R", addr=addr, out=out)
+
+
+def store(addr: str, value: int) -> MemOp:
+    """Convenience constructor: ``[addr] <- value``."""
+    return MemOp(kind="W", addr=addr, value=value)
+
+
+def fence() -> MemOp:
+    """Convenience constructor for a full fence."""
+    return MemOp(kind="F")
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Candidate outcome: load results and optional final memory values."""
+
+    registers: Tuple[Tuple[str, int], ...] = ()
+    final_memory: Tuple[Tuple[str, int], ...] = ()
+
+    @staticmethod
+    def of(registers: Dict[str, int], final_memory: Optional[Dict[str, int]] = None) -> "Outcome":
+        return Outcome(
+            registers=tuple(sorted(registers.items())),
+            final_memory=tuple(sorted((final_memory or {}).items())),
+        )
+
+    @property
+    def register_map(self) -> Dict[str, int]:
+        return dict(self.registers)
+
+    @property
+    def final_memory_map(self) -> Dict[str, int]:
+        return dict(self.final_memory)
+
+    def __str__(self):
+        parts = [f"{r}={v}" for r, v in self.registers]
+        parts += [f"[{a}]={v}" for a, v in self.final_memory]
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A named litmus test: threads of :class:`MemOp` plus an outcome.
+
+    ``initial_memory`` maps variables to initial values; unmentioned
+    variables start at 0 (the litmus convention).
+    """
+
+    name: str
+    threads: Tuple[Tuple[MemOp, ...], ...]
+    outcome: Outcome
+    initial_memory: Tuple[Tuple[str, int], ...] = ()
+
+    @staticmethod
+    def of(
+        name: str,
+        threads: Sequence[Sequence[MemOp]],
+        outcome: Outcome,
+        initial_memory: Optional[Dict[str, int]] = None,
+    ) -> "LitmusTest":
+        test = LitmusTest(
+            name=name,
+            threads=tuple(tuple(t) for t in threads),
+            outcome=outcome,
+            initial_memory=tuple(sorted((initial_memory or {}).items())),
+        )
+        test.validate()
+        return test
+
+    def validate(self) -> None:
+        if not self.threads:
+            raise LitmusError(f"{self.name}: no threads")
+        outs = [op.out for t in self.threads for op in t if op.is_load]
+        if len(outs) != len(set(outs)):
+            raise LitmusError(f"{self.name}: duplicate load output names")
+        known = set(outs)
+        for reg, _ in self.outcome.registers:
+            if reg not in known:
+                raise LitmusError(f"{self.name}: outcome register {reg} has no load")
+        for var, _ in self.outcome.final_memory:
+            if var not in self.addresses:
+                raise LitmusError(f"{self.name}: outcome variable {var} never used")
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.threads)
+
+    @property
+    def addresses(self) -> List[str]:
+        """All shared variables, in first-use order."""
+        seen: List[str] = []
+        for thread in self.threads:
+            for op in thread:
+                if op.addr is not None and op.addr not in seen:
+                    seen.append(op.addr)
+        return seen
+
+    @property
+    def initial_memory_map(self) -> Dict[str, int]:
+        values = {addr: 0 for addr in self.addresses}
+        values.update(dict(self.initial_memory))
+        return values
+
+    def instruction_count(self) -> int:
+        return sum(len(t) for t in self.threads)
+
+    def pretty(self) -> str:
+        """Multi-line rendering in the style of paper Figure 2."""
+        lines = [f"Litmus test {self.name}:"]
+        uid = 0
+        for cid, thread in enumerate(self.threads):
+            lines.append(f"  Core {cid}:")
+            for op in thread:
+                uid += 1
+                lines.append(f"    (i{uid}) {op}")
+        lines.append(f"  Outcome under test: {self.outcome}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CompiledOp:
+    """A litmus op located in the compiled program.
+
+    ``uid`` is the global instruction id (``i1``-style numbering across
+    cores in program order); ``pc`` is the byte PC on its core.
+    """
+
+    uid: int
+    core: int
+    index: int
+    op: MemOp
+    pc: int
+    instr: Instruction
+    addr_reg: Optional[int]
+    data_reg: Optional[int]
+
+    @property
+    def label(self) -> str:
+        return f"i{self.uid}"
+
+
+@dataclass
+class CompiledTest:
+    """Result of compiling a :class:`LitmusTest` for Multi-V-scale."""
+
+    test: LitmusTest
+    num_cores: int
+    address_map: Dict[str, int] = field(default_factory=dict)  # var -> word index
+    programs: List[List[Instruction]] = field(default_factory=list)
+    reg_init: List[Dict[int, int]] = field(default_factory=list)  # per core
+    ops: List[CompiledOp] = field(default_factory=list)
+
+    def ops_on_core(self, core: int) -> List[CompiledOp]:
+        return [op for op in self.ops if op.core == core]
+
+    def op_by_uid(self, uid: int) -> CompiledOp:
+        for op in self.ops:
+            if op.uid == uid:
+                return op
+        raise LitmusError(f"no compiled op with uid {uid}")
+
+    def word_address(self, var: str) -> int:
+        return self.address_map[var]
+
+    def byte_address(self, var: str) -> int:
+        return self.address_map[var] * 4
+
+    @property
+    def initial_data_memory(self) -> Dict[int, int]:
+        """Word-index -> initial value for litmus variables."""
+        init = self.test.initial_memory_map
+        return {self.address_map[var]: init[var] for var in self.address_map}
+
+
+def compile_test(test: LitmusTest, num_cores: int = 4) -> CompiledTest:
+    """Compile ``test`` into per-core RV32I programs for Multi-V-scale.
+
+    Threads beyond ``test.num_threads`` get a bare ``halt``.  Every
+    memory op becomes exactly one ``lw``/``sw`` with pre-initialized
+    address/data registers; each thread ends with ``halt``.
+    """
+    if test.num_threads > num_cores:
+        raise LitmusError(
+            f"{test.name}: needs {test.num_threads} cores, only {num_cores} available"
+        )
+    variables = test.addresses
+    if DATA_BASE_WORD + len(variables) > DATA_MEM_WORDS:
+        raise LitmusError(f"{test.name}: too many shared variables")
+    address_map = {var: DATA_BASE_WORD + i for i, var in enumerate(variables)}
+
+    compiled = CompiledTest(test=test, num_cores=num_cores, address_map=address_map)
+    uid = 0
+    for core in range(num_cores):
+        thread = test.threads[core] if core < test.num_threads else ()
+        program: List[Instruction] = []
+        regs: Dict[int, int] = {}
+        for index, op in enumerate(thread):
+            uid += 1
+            pc = 4 * len(program)
+            addr_reg = data_reg = None
+            if op.is_fence:
+                instr: Instruction = Fence()
+            else:
+                addr_reg = 1 + 2 * index
+                data_reg = 2 + 2 * index
+                if addr_reg >= 31:
+                    raise LitmusError(f"{test.name}: thread {core} too long")
+                regs[addr_reg] = 4 * address_map[op.addr]
+                if op.is_store:
+                    regs[data_reg] = op.value
+                    instr = Sw(rs1=addr_reg, rs2=data_reg, imm=0)
+                else:
+                    instr = Lw(rd=data_reg, rs1=addr_reg, imm=0)
+            program.append(instr)
+            compiled.ops.append(
+                CompiledOp(
+                    uid=uid,
+                    core=core,
+                    index=index,
+                    op=op,
+                    pc=pc,
+                    instr=instr,
+                    addr_reg=addr_reg,
+                    data_reg=data_reg,
+                )
+            )
+        program.append(Halt())
+        compiled.programs.append(program)
+        compiled.reg_init.append(regs)
+    return compiled

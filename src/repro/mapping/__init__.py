@@ -1,0 +1,13 @@
+"""User-provided mapping functions connecting µspec to RTL."""
+
+from repro.mapping.node_mapping import MapNode, MultiVScaleNodeMapping, NodeMapping
+from repro.mapping.program_mapping import MultiVScaleProgramMapping
+from repro.mapping.tso_mapping import MultiVScaleTsoNodeMapping
+
+__all__ = [
+    "MapNode",
+    "MultiVScaleNodeMapping",
+    "MultiVScaleProgramMapping",
+    "MultiVScaleTsoNodeMapping",
+    "NodeMapping",
+]

@@ -1,0 +1,77 @@
+"""Node mapping functions (paper §4.3, Figure 9).
+
+A node mapping function translates a µhb node — a specific
+microarchitectural event of a specific litmus instruction, such as
+"(i4, Writeback)" — into the RTL boolean expression that is true exactly
+in the cycle the event occurs.  It is the user-provided glue between the
+abstract µspec world and concrete design signals.
+
+The Multi-V-scale mapping mirrors Figure 9: an instruction is *at* a
+stage when that stage's PC register holds the instruction's PC and the
+stage is not stalled; a load-value constraint additionally pins
+``load_data_WB`` at Writeback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Tuple
+
+from repro.errors import MappingError
+from repro.litmus.test import CompiledTest
+from repro.sva.ast import BNot, BoolExpr, Sig, SigEq, band
+from repro.vscale.params import core_base_pc
+
+#: A µhb node at the mapping interface: (microop uid, stage name).
+MapNode = Tuple[int, str]
+
+
+class NodeMapping(Protocol):
+    """Interface RTLCheck requires from a user's node mapping."""
+
+    def map_node(self, node: MapNode, load_constraint: Optional[int]) -> BoolExpr:
+        """RTL expression for the occurrence of ``node``; when
+        ``load_constraint`` is given and the node is a load's value-
+        bearing stage, the expression also pins the returned data."""
+        ...
+
+
+@dataclass
+class MultiVScaleNodeMapping:
+    """Figure 9's node mapping for the Multi-V-scale processor."""
+
+    compiled: CompiledTest
+
+    def absolute_pc(self, uid: int) -> int:
+        op = self.compiled.op_by_uid(uid)
+        return core_base_pc(op.core) + op.pc
+
+    def map_node(self, node: MapNode, load_constraint: Optional[int] = None) -> BoolExpr:
+        uid, stage = node
+        op = self.compiled.op_by_uid(uid)
+        core = op.core
+        pc = self.absolute_pc(uid)
+        prefix = f"core[{core}]."
+        if stage == "Fetch":
+            return band(
+                SigEq(prefix + "PC_IF", pc),
+                BNot(Sig(prefix + "stall_IF")),
+            )
+        if stage == "DecodeExecute":
+            return band(
+                SigEq(prefix + "PC_DX", pc),
+                BNot(Sig(prefix + "stall_DX")),
+            )
+        if stage == "Writeback":
+            terms = [
+                SigEq(prefix + "PC_WB", pc),
+                BNot(Sig(prefix + "stall_WB")),
+            ]
+            if load_constraint is not None:
+                if not op.op.is_load:
+                    raise MappingError(
+                        f"load constraint on non-load instruction i{uid}"
+                    )
+                terms.append(SigEq(prefix + "load_data_WB", load_constraint))
+            return band(*terms)
+        raise MappingError(f"unknown stage {stage!r} for Multi-V-scale mapping")

@@ -1,0 +1,175 @@
+"""Program mapping functions (paper §4.1, Figure 8).
+
+A program mapping function links a litmus test's instructions, initial
+conditions, and final values to RTL expressions, from which the
+Assumption Generator produces SV assumptions that:
+
+1. initialize instruction and data memory,
+2. initialize the registers litmus instructions use for addresses and
+   data, and
+3. enforce load values and the final state of memory *as the offending
+   events occur* (never by lookahead — §3.1).
+
+Initialization assumptions (classes 1 and 2) are marked ``structural``:
+the simulated design realizes them by construction in its reset state,
+exactly as JasperGold realizes ``first |-> mem[i] == k`` by constraining
+the initial-state assignment.  They are still emitted as SVA text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.isa import encode
+from repro.litmus.test import CompiledTest
+from repro.sva.ast import (
+    BoolExpr,
+    Directive,
+    PImpl,
+    PSeq,
+    PConst,
+    Property,
+    SBool,
+    Sig,
+    SigEq,
+    BNot,
+    band,
+)
+from repro.vscale.params import core_base_pc, imem_base_word
+
+
+def _implication(name: str, antecedent: BoolExpr, consequent: BoolExpr, structural: bool) -> Directive:
+    return Directive(
+        kind="assume",
+        name=name,
+        prop=PImpl(antecedent, PSeq(SBool(consequent))),
+        structural=structural,
+    )
+
+
+@dataclass
+class MultiVScaleProgramMapping:
+    """Figure 8's program mapping for the Multi-V-scale processor."""
+
+    compiled: CompiledTest
+
+    # -- class 1: memory initialization --------------------------------
+
+    def instruction_memory_assumptions(self) -> List[Directive]:
+        """``first |-> mem[i] == <encoding>`` for every program word."""
+        out = []
+        first = Sig("first")
+        for core, program in enumerate(self.compiled.programs):
+            base = imem_base_word(core)
+            for offset, instr in enumerate(program):
+                out.append(
+                    _implication(
+                        f"init_imem_c{core}_{offset}",
+                        first,
+                        SigEq(f"mem[{base + offset}]", encode(instr)),
+                        structural=True,
+                    )
+                )
+        return out
+
+    def data_memory_assumptions(self) -> List[Directive]:
+        """``first |-> mem[w] == <initial value>`` for litmus variables.
+
+        These are monitorable (data words appear in trace frames), so we
+        leave them non-structural as a self-check of the reset state.
+        """
+        out = []
+        first = Sig("first")
+        for var, word in sorted(self.compiled.address_map.items()):
+            value = self.compiled.test.initial_memory_map[var]
+            out.append(
+                _implication(
+                    f"init_dmem_{var}",
+                    first,
+                    SigEq(f"mem[{word}]", value),
+                    structural=False,
+                )
+            )
+        return out
+
+    # -- class 2: register initialization -------------------------------
+
+    def register_assumptions(self) -> List[Directive]:
+        out = []
+        first = Sig("first")
+        for core, regs in enumerate(self.compiled.reg_init):
+            for reg, value in sorted(regs.items()):
+                out.append(
+                    _implication(
+                        f"init_reg_c{core}_x{reg}",
+                        first,
+                        SigEq(f"core[{core}].regs[{reg}]", value),
+                        structural=True,
+                    )
+                )
+        return out
+
+    # -- class 3: value assumptions --------------------------------------
+
+    def load_value_assumptions(self) -> List[Directive]:
+        """For each load whose outcome value is pinned: when the load is
+        in WB, its returned data equals the outcome value."""
+        out = []
+        outcome = self.compiled.test.outcome.register_map
+        for op in self.compiled.ops:
+            if not op.op.is_load or op.op.out not in outcome:
+                continue
+            value = outcome[op.op.out]
+            prefix = f"core[{op.core}]."
+            at_wb = band(
+                SigEq(prefix + "PC_WB", core_base_pc(op.core) + op.pc),
+                BNot(Sig(prefix + "stall_WB")),
+            )
+            out.append(
+                _implication(
+                    f"load_value_i{op.uid}",
+                    at_wb,
+                    band(at_wb, SigEq(prefix + "load_data_WB", value)),
+                    structural=False,
+                )
+            )
+        return out
+
+    def final_value_assumption(self) -> Directive:
+        """All cores halted => any pinned final memory values hold.
+
+        Even with no pinned finals the assumption is emitted with a
+        trivially-true consequent: its covering trace *is* an execution
+        of the whole litmus outcome, which lets the verifier discharge a
+        test early when that outcome is unreachable (paper §4.1).
+        """
+        antecedent_terms = []
+        for core in range(self.compiled.num_cores):
+            prefix = f"core[{core}]."
+            antecedent_terms.append(SigEq(prefix + "halted", 1))
+            antecedent_terms.append(BNot(Sig(prefix + "stall_WB")))
+        antecedent = band(*antecedent_terms)
+        final = self.compiled.test.outcome.final_memory_map
+        if final:
+            consequent = band(
+                *(
+                    SigEq(f"mem[{self.compiled.address_map[var]}]", value)
+                    for var, value in sorted(final.items())
+                )
+            )
+            prop: Property = PImpl(antecedent, PSeq(SBool(consequent)))
+        else:
+            prop = PImpl(antecedent, PConst(True))
+        return Directive(kind="assume", name="final_values", prop=prop, structural=False)
+
+    # -- everything -------------------------------------------------------
+
+    def all_assumptions(self) -> List[Directive]:
+        return (
+            self.instruction_memory_assumptions()
+            + self.data_memory_assumptions()
+            + self.register_assumptions()
+            + self.load_value_assumptions()
+            + [self.final_value_assumption()]
+        )

@@ -1,0 +1,36 @@
+"""Node mapping for the Multi-V-scale-TSO design.
+
+Identical to the SC mapping for the Fetch/DecodeExecute/Writeback
+stages; the new ``Memory`` stage of a store maps to the cycle its
+store-buffer entry commits to the array (``commit_valid`` with the
+store's PC on ``commit_pc``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import MappingError
+from repro.mapping.node_mapping import MapNode, MultiVScaleNodeMapping
+from repro.sva.ast import BoolExpr, SigEq, band
+
+
+@dataclass
+class MultiVScaleTsoNodeMapping(MultiVScaleNodeMapping):
+    """Figure-9-style node mapping extended with the Memory stage."""
+
+    def map_node(self, node: MapNode, load_constraint: Optional[int] = None) -> BoolExpr:
+        uid, stage = node
+        if stage != "Memory":
+            return super().map_node(node, load_constraint)
+        op = self.compiled.op_by_uid(uid)
+        if not op.op.is_store:
+            raise MappingError(
+                f"only stores have a Memory (commit) stage; i{uid} is not one"
+            )
+        prefix = f"core[{op.core}]."
+        return band(
+            SigEq(prefix + "commit_valid", 1),
+            SigEq(prefix + "commit_pc", self.absolute_pc(uid)),
+        )

@@ -1,0 +1,33 @@
+"""Memory-consistency-model oracles (SC and x86-TSO)."""
+
+from repro.memodel.axiomatic import (
+    CandidateExecution,
+    axiomatic_sc_allowed,
+    axiomatic_sc_witness,
+    enumerate_candidates,
+    is_acyclic,
+)
+from repro.memodel.events import Event, extract_events, program_order_pairs
+from repro.memodel.operational import (
+    enumerate_sc_outcomes,
+    enumerate_tso_outcomes,
+    sc_allowed,
+    sc_forbidden,
+    tso_allowed,
+)
+
+__all__ = [
+    "CandidateExecution",
+    "Event",
+    "axiomatic_sc_allowed",
+    "axiomatic_sc_witness",
+    "enumerate_candidates",
+    "enumerate_sc_outcomes",
+    "enumerate_tso_outcomes",
+    "extract_events",
+    "is_acyclic",
+    "program_order_pairs",
+    "sc_allowed",
+    "sc_forbidden",
+    "tso_allowed",
+]

@@ -1,0 +1,167 @@
+"""Axiomatic SC checker: ``acyclic(po ∪ rf ∪ co ∪ fr)``.
+
+This is the whole-execution style of verification the paper contrasts
+with temporal checking in Figure 4a: enumerate candidate executions
+(reads-from and coherence choices), discard those that do not exhibit
+the outcome under test, and accept the outcome iff some remaining
+candidate is acyclic in the union of the four relations.
+
+It is intentionally an independent implementation from the operational
+executor in :mod:`repro.memodel.operational`; the test suite checks the
+two agree on every litmus test (a classic equivalence result).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.litmus.test import LitmusTest
+from repro.memodel.events import Event, extract_events, program_order_pairs
+
+#: Sentinel eid for "reads the initial value".
+INIT = -1
+
+
+def is_acyclic(num_nodes: int, edges: Iterable[Tuple[int, int]]) -> bool:
+    """Cycle check over nodes ``0..num_nodes-1`` (iterative colouring DFS)."""
+    adjacency: Dict[int, List[int]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, []).append(dst)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = [WHITE] * num_nodes
+    for root in range(num_nodes):
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        colour[root] = GREY
+        while stack:
+            node, child_index = stack[-1]
+            children = adjacency.get(node, [])
+            if child_index == len(children):
+                colour[node] = BLACK
+                stack.pop()
+                continue
+            stack[-1] = (node, child_index + 1)
+            child = children[child_index]
+            if colour[child] == GREY:
+                return False
+            if colour[child] == WHITE:
+                colour[child] = GREY
+                stack.append((child, 0))
+    return True
+
+
+class CandidateExecution:
+    """One concrete (rf, co) choice for a litmus test's events."""
+
+    def __init__(
+        self,
+        events: List[Event],
+        rf: Dict[int, int],  # load eid -> store eid or INIT
+        co: Dict[str, Tuple[int, ...]],  # addr -> store eids in order
+        initial_memory: Dict[str, int],
+    ):
+        self.events = events
+        self.rf = rf
+        self.co = co
+        self.initial_memory = initial_memory
+        self._by_eid = {e.eid: e for e in events}
+
+    def load_value(self, load_eid: int) -> int:
+        source = self.rf[load_eid]
+        if source == INIT:
+            return self.initial_memory[self._by_eid[load_eid].addr]
+        return self._by_eid[source].value
+
+    def final_memory(self) -> Dict[str, int]:
+        memory = dict(self.initial_memory)
+        for addr, order in self.co.items():
+            if order:
+                memory[addr] = self._by_eid[order[-1]].value
+        return memory
+
+    def relation_edges(self) -> List[Tuple[int, int]]:
+        """po ∪ rf ∪ co ∪ fr as eid pairs (INIT sources are dropped:
+        the initial write is before everything, so it cannot close a
+        cycle; its fr edges are still materialized)."""
+        edges: List[Tuple[int, int]] = list(program_order_pairs(self.events))
+        for load_eid, src in self.rf.items():
+            if src != INIT:
+                edges.append((src, load_eid))
+        for order in self.co.values():
+            for i in range(len(order) - 1):
+                for j in range(i + 1, len(order)):
+                    edges.append((order[i], order[j]))
+        # fr: load reads w; load is before every co-successor of w.
+        for load_eid, src in self.rf.items():
+            addr = self._by_eid[load_eid].addr
+            order = self.co.get(addr, ())
+            if src == INIT:
+                successors: Sequence[int] = order
+            else:
+                pos = order.index(src)
+                successors = order[pos + 1 :]
+            for store_eid in successors:
+                edges.append((load_eid, store_eid))
+        return edges
+
+    def is_sc(self) -> bool:
+        return is_acyclic(len(self.events), self.relation_edges())
+
+
+def enumerate_candidates(test: LitmusTest) -> Iterable[CandidateExecution]:
+    """All well-formed (rf, co) candidate executions of ``test``."""
+    events = extract_events(test)
+    initial_memory = test.initial_memory_map
+    loads = [e for e in events if e.is_load]
+    stores_by_addr: Dict[str, List[Event]] = {}
+    for event in events:
+        if event.is_store:
+            stores_by_addr.setdefault(event.addr, []).append(event)
+
+    rf_choices: List[List[int]] = []
+    for load_event in loads:
+        sources = [INIT] + [s.eid for s in stores_by_addr.get(load_event.addr, [])]
+        rf_choices.append(sources)
+
+    co_addrs = sorted(stores_by_addr)
+    co_choices = [
+        [tuple(s.eid for s in perm) for perm in itertools.permutations(stores_by_addr[a])]
+        for a in co_addrs
+    ]
+
+    for rf_combo in itertools.product(*rf_choices):
+        rf = {load.eid: src for load, src in zip(loads, rf_combo)}
+        for co_combo in itertools.product(*co_choices):
+            co = dict(zip(co_addrs, co_combo))
+            yield CandidateExecution(events, rf, co, initial_memory)
+
+
+def _matches_outcome(test: LitmusTest, candidate: CandidateExecution) -> bool:
+    out_regs = test.outcome.register_map
+    for event in candidate.events:
+        if event.is_load and event.out in out_regs:
+            if candidate.load_value(event.eid) != out_regs[event.out]:
+                return False
+    final = candidate.final_memory()
+    for addr, value in test.outcome.final_memory:
+        if final.get(addr) != value:
+            return False
+    return True
+
+
+def axiomatic_sc_allowed(test: LitmusTest) -> bool:
+    """Outcome observable under axiomatic SC (acyclic po∪rf∪co∪fr)?"""
+    return any(
+        _matches_outcome(test, candidate) and candidate.is_sc()
+        for candidate in enumerate_candidates(test)
+    )
+
+
+def axiomatic_sc_witness(test: LitmusTest) -> Optional[CandidateExecution]:
+    """An SC candidate execution exhibiting the outcome, if one exists."""
+    for candidate in enumerate_candidates(test):
+        if _matches_outcome(test, candidate) and candidate.is_sc():
+            return candidate
+    return None

@@ -1,0 +1,85 @@
+"""Shared-memory events extracted from litmus tests.
+
+Both the operational executors and the axiomatic checker work over a
+flat list of :class:`Event` objects derived from a
+:class:`~repro.litmus.test.LitmusTest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.litmus.test import LitmusTest
+
+
+@dataclass(frozen=True)
+class Event:
+    """One memory event of a litmus test.
+
+    ``eid`` is globally unique; (``thread``, ``index``) gives program
+    order.  Stores carry ``value``; loads carry the output register name
+    in ``out``.
+    """
+
+    eid: int
+    thread: int
+    index: int
+    kind: str  # 'R', 'W', or 'F'
+    addr: Optional[str]
+    value: Optional[int]
+    out: Optional[str]
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind == "R"
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind == "W"
+
+    @property
+    def is_fence(self) -> bool:
+        return self.kind == "F"
+
+    def __str__(self):
+        if self.is_store:
+            return f"W{self.eid}[{self.addr}]={self.value}"
+        if self.is_load:
+            return f"R{self.eid}[{self.addr}]->{self.out}"
+        return f"F{self.eid}"
+
+
+def extract_events(test: LitmusTest) -> List[Event]:
+    """Flatten ``test`` into events, eids assigned in (thread, po) order."""
+    events: List[Event] = []
+    eid = 0
+    for thread, ops in enumerate(test.threads):
+        for index, op in enumerate(ops):
+            events.append(
+                Event(
+                    eid=eid,
+                    thread=thread,
+                    index=index,
+                    kind=op.kind,
+                    addr=op.addr,
+                    value=op.value,
+                    out=op.out,
+                )
+            )
+            eid += 1
+    return events
+
+
+def program_order_pairs(events: List[Event]) -> List[Tuple[int, int]]:
+    """All (eid, eid) pairs related by program order (transitive)."""
+    pairs = []
+    by_thread: Dict[int, List[Event]] = {}
+    for event in events:
+        by_thread.setdefault(event.thread, []).append(event)
+    for thread_events in by_thread.values():
+        ordered = sorted(thread_events, key=lambda e: e.index)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                pairs.append((a.eid, b.eid))
+    return pairs

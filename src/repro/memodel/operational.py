@@ -1,0 +1,149 @@
+"""Operational memory-model executors.
+
+These enumerate *every* final outcome a litmus test can produce under a
+given model and serve as the ground-truth oracles for the rest of the
+library (litmus verdicts, RTL trace checking, microarchitectural
+verification cross-checks).
+
+* :func:`enumerate_sc_outcomes` — sequential consistency: one global
+  interleaving of atomic operations (Lamport's definition; the abstract
+  machine of paper Figure 4).
+* :func:`enumerate_tso_outcomes` — total store order: a FIFO store
+  buffer per thread with store-to-load forwarding, modelling x86-TSO.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.litmus.test import LitmusTest, Outcome
+
+#: A final outcome: (sorted register values, sorted final memory values).
+FinalState = Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, int], ...]]
+
+
+def _final_state(regs: Dict[str, int], memory: Dict[str, int]) -> FinalState:
+    return (tuple(sorted(regs.items())), tuple(sorted(memory.items())))
+
+
+def enumerate_sc_outcomes(test: LitmusTest) -> Set[FinalState]:
+    """All (registers, final memory) states reachable under SC."""
+    init_memory = tuple(sorted(test.initial_memory_map.items()))
+    initial = (tuple(0 for _ in test.threads), (), init_memory)
+    seen = {initial}
+    stack = [initial]
+    finals: Set[FinalState] = set()
+    while stack:
+        pcs, regs, memory = stack.pop()
+        mem = dict(memory)
+        progressed = False
+        for thread, pc in enumerate(pcs):
+            ops = test.threads[thread]
+            if pc >= len(ops):
+                continue
+            progressed = True
+            op = ops[pc]
+            new_regs = regs
+            if op.is_store:
+                mem2 = dict(mem)
+                mem2[op.addr] = op.value
+                new_memory = tuple(sorted(mem2.items()))
+            else:
+                new_memory = memory
+                if op.is_load:
+                    new_regs = tuple(sorted(dict(regs, **{op.out: mem[op.addr]}).items()))
+            new_pcs = pcs[:thread] + (pc + 1,) + pcs[thread + 1 :]
+            state = (new_pcs, new_regs, new_memory)
+            if state not in seen:
+                seen.add(state)
+                stack.append(state)
+        if not progressed:
+            finals.add((regs, memory))
+    return finals
+
+
+def enumerate_tso_outcomes(test: LitmusTest) -> Set[FinalState]:
+    """All (registers, final memory) states reachable under x86-TSO.
+
+    Each thread owns a FIFO store buffer.  A store enqueues; the buffer
+    head may drain to memory at any point; a load first forwards from
+    the youngest same-address buffered store, else reads memory; a fence
+    blocks until the thread's buffer is empty.
+    """
+    init_memory = tuple(sorted(test.initial_memory_map.items()))
+    empty_buffers = tuple(() for _ in test.threads)
+    initial = (tuple(0 for _ in test.threads), empty_buffers, (), init_memory)
+    seen = {initial}
+    stack = [initial]
+    finals: Set[FinalState] = set()
+    while stack:
+        pcs, buffers, regs, memory = stack.pop()
+        mem = dict(memory)
+        successors = []
+        for thread, pc in enumerate(pcs):
+            buffer = buffers[thread]
+            # Drain the head of this thread's store buffer.
+            if buffer:
+                addr, value = buffer[0]
+                mem2 = dict(mem)
+                mem2[addr] = value
+                new_buffers = (
+                    buffers[:thread] + (buffer[1:],) + buffers[thread + 1 :]
+                )
+                successors.append(
+                    (pcs, new_buffers, regs, tuple(sorted(mem2.items())))
+                )
+            ops = test.threads[thread]
+            if pc >= len(ops):
+                continue
+            op = ops[pc]
+            new_pcs = pcs[:thread] + (pc + 1,) + pcs[thread + 1 :]
+            if op.is_store:
+                new_buffer = buffer + ((op.addr, op.value),)
+                new_buffers = (
+                    buffers[:thread] + (new_buffer,) + buffers[thread + 1 :]
+                )
+                successors.append((new_pcs, new_buffers, regs, memory))
+            elif op.is_fence:
+                if not buffer:
+                    successors.append((new_pcs, buffers, regs, memory))
+            else:
+                value = mem[op.addr]
+                for buf_addr, buf_value in buffer:  # youngest wins
+                    if buf_addr == op.addr:
+                        value = buf_value
+                new_regs = tuple(sorted(dict(regs, **{op.out: value}).items()))
+                successors.append((new_pcs, buffers, new_regs, memory))
+        if not successors:
+            finals.add((regs, memory))
+        for state in successors:
+            if state not in seen:
+                seen.add(state)
+                stack.append(state)
+    return finals
+
+
+def _outcome_matches(outcome: Outcome, final: FinalState) -> bool:
+    regs, memory = dict(final[0]), dict(final[1])
+    for reg, value in outcome.registers:
+        if regs.get(reg) != value:
+            return False
+    for addr, value in outcome.final_memory:
+        if memory.get(addr) != value:
+            return False
+    return True
+
+
+def sc_allowed(test: LitmusTest) -> bool:
+    """Is the test's candidate outcome observable under SC?"""
+    return any(_outcome_matches(test.outcome, f) for f in enumerate_sc_outcomes(test))
+
+
+def sc_forbidden(test: LitmusTest) -> bool:
+    """Is the test's candidate outcome forbidden under SC?"""
+    return not sc_allowed(test)
+
+
+def tso_allowed(test: LitmusTest) -> bool:
+    """Is the test's candidate outcome observable under x86-TSO?"""
+    return any(_outcome_matches(test.outcome, f) for f in enumerate_tso_outcomes(test))

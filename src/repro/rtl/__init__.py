@@ -1,0 +1,18 @@
+"""Cycle-accurate RTL simulation kernel."""
+
+from repro.rtl.design import Design, Frame, FreeInput, Inputs, Simulator
+from repro.rtl.trace import changed_signals, render_timing_diagram, signal_values
+from repro.rtl.vcd import render_vcd, write_vcd
+
+__all__ = [
+    "Design",
+    "Frame",
+    "FreeInput",
+    "Inputs",
+    "Simulator",
+    "changed_signals",
+    "render_timing_diagram",
+    "signal_values",
+    "render_vcd",
+    "write_vcd",
+]

@@ -1,0 +1,128 @@
+"""The RTL simulation kernel.
+
+Designs are synchronous, single-clock machines with explicit state.
+Each cycle has two phases, the standard simulator discipline:
+
+1. :meth:`Design.eval_comb` — settle all combinational logic for the
+   current cycle given the free top-level inputs, and return the cycle's
+   *frame*: a flat mapping from hierarchical signal name (for example
+   ``core[1].PC_WB``) to integer value.  Generated SVA properties and
+   mapping functions refer to signals through these names.
+2. :meth:`Design.tick` — commit the next-state values computed during
+   ``eval_comb`` (the rising clock edge).
+
+Designs also expose :meth:`Design.snapshot` / :meth:`Design.restore`,
+returning hashable state tuples; the property verifier uses these for
+explicit-state exploration with deduplication.
+
+Free inputs (for Multi-V-scale: the arbiter's grant select, paper §5.2)
+are declared via :meth:`Design.free_inputs`; a formal verifier explores
+every combination, a simulator picks one per cycle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import RtlError
+
+#: A settled cycle's signal values.
+Frame = Dict[str, int]
+#: One assignment of the design's free inputs.
+Inputs = Mapping[str, int]
+
+
+class FreeInput:
+    """A nondeterministic top-level input: ``name`` ranges over
+    ``0 .. cardinality-1`` each cycle."""
+
+    def __init__(self, name: str, cardinality: int):
+        if cardinality < 1:
+            raise RtlError(f"free input {name!r} needs cardinality >= 1")
+        self.name = name
+        self.cardinality = cardinality
+
+    def __repr__(self):
+        return f"FreeInput({self.name!r}, {self.cardinality})"
+
+
+class Design:
+    """Base class for simulatable designs. Subclasses implement the
+    two-phase protocol plus snapshot/restore."""
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def free_inputs(self) -> Sequence[FreeInput]:
+        return ()
+
+    def eval_comb(self, inputs: Inputs) -> Frame:
+        raise NotImplementedError
+
+    def tick(self) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> Hashable:
+        raise NotImplementedError
+
+    def restore(self, state: Hashable) -> None:
+        raise NotImplementedError
+
+    def input_space(self) -> List[Dict[str, int]]:
+        """Every assignment of the free inputs (the verifier's branching
+        choices for one cycle)."""
+        free = list(self.free_inputs())
+        assignments = []
+        for combo in itertools.product(*(range(f.cardinality) for f in free)):
+            assignments.append({f.name: v for f, v in zip(free, combo)})
+        return assignments
+
+
+class Simulator:
+    """Drives one :class:`Design` along a single trace.
+
+    The simulator inserts the auto-generated ``first`` signal into every
+    frame: 1 on the first cycle after reset, 0 afterwards — the signal
+    RTLCheck's Assumption Generator creates to anchor initialization
+    assumptions and filter assertion match attempts (paper §4.1, §4.4).
+    """
+
+    def __init__(self, design: Design):
+        self.design = design
+        self.cycle = 0
+        self.trace: List[Frame] = []
+        design.reset()
+
+    def step(self, inputs: Optional[Inputs] = None) -> Frame:
+        """Run one clock cycle; returns the settled frame."""
+        frame = self.design.eval_comb(inputs or {})
+        frame["first"] = 1 if self.cycle == 0 else 0
+        self.design.tick()
+        self.trace.append(frame)
+        self.cycle += 1
+        return frame
+
+    def run(
+        self,
+        cycles: int,
+        input_schedule: Optional[Iterable[Inputs]] = None,
+    ) -> List[Frame]:
+        """Run ``cycles`` cycles, drawing inputs from ``input_schedule``
+        (missing entries default to all-zero inputs)."""
+        schedule = iter(input_schedule or ())
+        for _ in range(cycles):
+            self.step(next(schedule, None))
+        return self.trace
+
+    def run_until_quiescent(self, max_cycles: int = 10_000) -> List[Frame]:
+        """Run with default inputs until the architectural state stops
+        changing (or ``max_cycles`` elapse)."""
+        previous = self.design.snapshot()
+        for _ in range(max_cycles):
+            self.step()
+            current = self.design.snapshot()
+            if current == previous:
+                return self.trace
+            previous = current
+        raise RtlError(f"design did not quiesce within {max_cycles} cycles")

@@ -1,0 +1,70 @@
+"""Execution traces and ASCII timing diagrams.
+
+The paper illustrates executions as waveform timing diagrams (Figures 6,
+11, 12); :func:`render_timing_diagram` reproduces that presentation from
+a recorded trace so counterexamples can be inspected the same way the
+authors diagnosed the V-scale store-dropping bug.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.rtl.design import Frame
+
+#: Optional pretty-printer for a signal's value (for example decoding a
+#: pipeline PC into the litmus instruction it holds).
+Formatter = Callable[[int], str]
+
+
+def signal_values(trace: Sequence[Frame], name: str) -> List[int]:
+    """The per-cycle values of one signal across ``trace``."""
+    return [frame.get(name, 0) for frame in trace]
+
+
+def render_timing_diagram(
+    trace: Sequence[Frame],
+    signals: Sequence[str],
+    formatters: Optional[Dict[str, Formatter]] = None,
+    first_cycle: int = 0,
+    last_cycle: Optional[int] = None,
+    cell_width: int = 9,
+) -> str:
+    """Render selected ``signals`` of ``trace`` as an ASCII timing diagram.
+
+    Constant-0 stretches render as blanks so events stand out, mirroring
+    the paper's waveform figures.
+    """
+    formatters = formatters or {}
+    if last_cycle is None:
+        last_cycle = len(trace) - 1
+    cycles = range(first_cycle, min(last_cycle, len(trace) - 1) + 1)
+    label_width = max((len(s) for s in signals), default=0) + 2
+
+    def fmt(name: str, value: int) -> str:
+        if name in formatters:
+            return formatters[name](value)
+        return str(value) if value else ""
+
+    lines = []
+    header = " " * label_width + "".join(f"{c:^{cell_width}}" for c in cycles)
+    lines.append(header)
+    lines.append(" " * label_width + ("-" * cell_width) * len(list(cycles)))
+    for name in signals:
+        cells = []
+        for cycle in cycles:
+            text = fmt(name, trace[cycle].get(name, 0))
+            cells.append(f"{text[:cell_width - 1]:^{cell_width}}")
+        lines.append(f"{name:<{label_width}}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def changed_signals(before: Frame, after: Frame) -> List[Tuple[str, int, int]]:
+    """Signals whose value differs between two frames (debug helper)."""
+    names = set(before) | set(after)
+    out = []
+    for name in sorted(names):
+        a, b = before.get(name, 0), after.get(name, 0)
+        if a != b:
+            out.append((name, a, b))
+    return out

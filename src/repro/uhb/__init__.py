@@ -1,0 +1,26 @@
+"""µhb graphs and Check-style microarchitectural verification."""
+
+from repro.uhb.graph import GraphEdge, GraphNode, UhbGraph
+from repro.uhb.solver import MAX_GRAPHS, SolveResult, UhbSolver, to_nnf
+from repro.uhb.verify import (
+    MicroarchResult,
+    cyclic_witness_graph,
+    ground_axioms,
+    instruction_labels,
+    microarch_observable,
+)
+
+__all__ = [
+    "GraphEdge",
+    "GraphNode",
+    "MAX_GRAPHS",
+    "MicroarchResult",
+    "SolveResult",
+    "UhbGraph",
+    "UhbSolver",
+    "cyclic_witness_graph",
+    "ground_axioms",
+    "instruction_labels",
+    "microarch_observable",
+    "to_nnf",
+]

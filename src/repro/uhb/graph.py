@@ -1,0 +1,178 @@
+"""Microarchitectural happens-before (µhb) graphs.
+
+Nodes are (microop uid, stage name) pairs — "instruction i4 at its
+Writeback stage" — and directed edges are known happens-before
+relationships (paper §2.1, Figure 3a).  A cycle proves the depicted
+scenario impossible, since an event cannot happen before itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+GraphNode = Tuple[int, str]
+GraphEdge = Tuple[GraphNode, GraphNode]
+
+
+class UhbGraph:
+    """A mutable µhb graph with incremental cycle detection."""
+
+    def __init__(self):
+        self._edges: Dict[GraphEdge, Tuple[str, str]] = {}
+        self._succ: Dict[GraphNode, Set[GraphNode]] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def edges(self) -> Dict[GraphEdge, Tuple[str, str]]:
+        return dict(self._edges)
+
+    def edge_set(self) -> Set[GraphEdge]:
+        return set(self._edges)
+
+    def nodes(self) -> Set[GraphNode]:
+        found: Set[GraphNode] = set()
+        for src, dst in self._edges:
+            found.add(src)
+            found.add(dst)
+        return found
+
+    def has_edge(self, src: GraphNode, dst: GraphNode) -> bool:
+        return (src, dst) in self._edges
+
+    def has_path(self, src: GraphNode, dst: GraphNode) -> bool:
+        """Is there a directed path from ``src`` to ``dst``?"""
+        if src == dst:
+            return True
+        stack = [src]
+        seen = {src}
+        while stack:
+            node = stack.pop()
+            for nxt in self._succ.get(node, ()):
+                if nxt == dst:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def would_close_cycle(self, src: GraphNode, dst: GraphNode) -> bool:
+        """Would adding ``src -> dst`` create a cycle?"""
+        return self.has_path(dst, src)
+
+    def add_edge(
+        self, src: GraphNode, dst: GraphNode, label: str = "", colour: str = ""
+    ) -> None:
+        if (src, dst) not in self._edges:
+            self._edges[(src, dst)] = (label, colour)
+            self._succ.setdefault(src, set()).add(dst)
+
+    def remove_edge(self, src: GraphNode, dst: GraphNode) -> None:
+        if (src, dst) in self._edges:
+            del self._edges[(src, dst)]
+            self._succ[src].discard(dst)
+
+    def is_acyclic(self) -> bool:
+        order = self.topological_order()
+        return order is not None
+
+    def topological_order(self) -> Optional[List[GraphNode]]:
+        """Kahn's algorithm; None if the graph is cyclic."""
+        nodes = self.nodes()
+        in_degree = {node: 0 for node in nodes}
+        for _src, dst in self._edges:
+            in_degree[dst] += 1
+        ready = sorted(n for n, d in in_degree.items() if d == 0)
+        order: List[GraphNode] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for nxt in sorted(self._succ.get(node, ())):
+                in_degree[nxt] -= 1
+                if in_degree[nxt] == 0:
+                    ready.append(nxt)
+        if len(order) != len(nodes):
+            return None
+        return order
+
+    def find_cycle(self) -> Optional[List[GraphNode]]:
+        """One cycle as a node list, or None if acyclic."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {node: WHITE for node in self.nodes()}
+        parent: Dict[GraphNode, Optional[GraphNode]] = {}
+
+        def walk(start: GraphNode) -> Optional[List[GraphNode]]:
+            stack = [(start, iter(sorted(self._succ.get(start, ()))))]
+            colour[start] = GREY
+            parent[start] = None
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if colour[nxt] == GREY:
+                        cycle = [nxt, node]
+                        cursor = parent[node]
+                        while cursor is not None and cycle[0] != node:
+                            if cursor == nxt:
+                                break
+                            cycle.append(cursor)
+                            cursor = parent[cursor]
+                        cycle.reverse()
+                        return cycle
+                    if colour[nxt] == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(sorted(self._succ.get(nxt, ())))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+            return None
+
+        for node in sorted(colour):
+            if colour[node] == WHITE:
+                cycle = walk(node)
+                if cycle:
+                    return cycle
+        return None
+
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "UhbGraph":
+        dup = UhbGraph()
+        for (src, dst), (label, colour) in self._edges.items():
+            dup.add_edge(src, dst, label, colour)
+        return dup
+
+    def to_dot(self, name: str = "uhb", instr_names: Optional[Dict[int, str]] = None) -> str:
+        """Graphviz rendering in the style of paper Figure 3a."""
+        instr_names = instr_names or {}
+
+        def node_id(node: GraphNode) -> str:
+            uid, stage = node
+            return f"i{uid}_{stage}"
+
+        def node_label(node: GraphNode) -> str:
+            uid, stage = node
+            return f"{instr_names.get(uid, f'i{uid}')}\\n{stage}"
+
+        lines = [f"digraph {name} {{", "  rankdir=TB;"]
+        for node in sorted(self.nodes()):
+            lines.append(f'  {node_id(node)} [label="{node_label(node)}"];')
+        for (src, dst), (label, colour) in sorted(self._edges.items()):
+            attrs = []
+            if label:
+                attrs.append(f'label="{label}"')
+            if colour:
+                attrs.append(f'color="{colour}"')
+            suffix = f" [{', '.join(attrs)}]" if attrs else ""
+            lines.append(f"  {node_id(src)} -> {node_id(dst)}{suffix};")
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __repr__(self):
+        return f"UhbGraph({len(self._edges)} edges)"

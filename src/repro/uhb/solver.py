@@ -1,0 +1,341 @@
+"""Check-style exhaustive enumeration of µhb graphs.
+
+Given the ground axiom formulas for one litmus test (from
+:mod:`repro.uspec.eval` in ``check`` mode), the solver enumerates every
+way of satisfying the axioms, building the corresponding µhb graph for
+each, and cycle-checks it.  The litmus outcome is *observable* at the
+microarchitecture level iff some satisfying graph is acyclic
+(paper §2.1).
+
+Semantics: ``AddEdge`` atoms *contribute* edges; a graph is only a
+model if, under membership of the contributed edges, every axiom
+formula re-evaluates to true (so ``EdgeExists`` tests, including
+negated ones, are checked against the finished graph — edges are never
+assumed into existence without an AddEdge justifying them).
+
+The search is organized to stay polynomial-ish on the axioms the paper
+uses:
+
+* unconditional ``AddEdge`` conjuncts seed the graph;
+* *Horn rules* — disjunctions whose only edge-contributing disjunct is a
+  pure conjunction of AddEdges, guarded by an anti-monotone test (e.g.
+  ``~EdgeExists(dx) \\/ AddEdge(wb)`` from the FIFO axioms) — are not
+  branched on; they are forward-chained to a fixpoint at each leaf;
+* genuinely branching disjunctions (total-order axioms, Read_Values
+  alternatives) drive a backtracking search with incremental cycle
+  pruning (sound for observability because edges only accumulate);
+* test-only disjunctions (e.g. ``NoInterveningWrite``'s intervening-
+  write check) are obligations verified on the finished graph, along
+  with a full recheck of every axiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import UspecError
+from repro.uspec import ast
+from repro.uspec.eval import GroundEdge, GroundNode, LoadValue
+from repro.uhb.graph import GraphEdge, UhbGraph
+
+#: Safety valve: stop enumerating after this many leaves per test (far
+#: above anything the 56-test suite produces).
+MAX_GRAPHS = 2_000_000
+
+
+def to_nnf(formula: ast.Formula, negate: bool = False) -> ast.Formula:
+    """Negation normal form over ground formulas."""
+    if isinstance(formula, ast.Truth):
+        return ast.Truth(formula.value != negate)
+    if isinstance(formula, ast.Not):
+        return to_nnf(formula.body, not negate)
+    if isinstance(formula, ast.And):
+        parts = [to_nnf(op, negate) for op in formula.operands]
+        return ast.disjunction(parts) if negate else ast.conjunction(parts)
+    if isinstance(formula, ast.Or):
+        parts = [to_nnf(op, negate) for op in formula.operands]
+        return ast.conjunction(parts) if negate else ast.disjunction(parts)
+    if isinstance(formula, (GroundEdge, GroundNode, LoadValue)):
+        return ast.Not(formula) if negate else formula
+    if isinstance(formula, ast.Implies):
+        return to_nnf(ast.Or((ast.Not(formula.premise), formula.conclusion)), negate)
+    raise UspecError(f"formula is not ground: {formula!r}")
+
+
+def contains_add(formula: ast.Formula) -> bool:
+    """Does ``formula`` (in NNF) contribute edges in a positive position?"""
+    if isinstance(formula, GroundEdge):
+        return formula.kind == "add"
+    if isinstance(formula, (ast.And, ast.Or)):
+        return any(contains_add(op) for op in formula.operands)
+    return False
+
+
+def _pure_adds(formula: ast.Formula) -> Optional[List[GroundEdge]]:
+    """If ``formula`` is a conjunction of AddEdge atoms, return them."""
+    if isinstance(formula, GroundEdge) and formula.kind == "add":
+        return [formula]
+    if isinstance(formula, ast.And):
+        edges: List[GroundEdge] = []
+        for op in formula.operands:
+            part = _pure_adds(op)
+            if part is None:
+                return None
+            edges.extend(part)
+        return edges
+    return None
+
+
+def _anti_monotone(formula: ast.Formula) -> bool:
+    """True if the formula can only flip true->false as edges are added
+    (safe as a forward-chaining guard)."""
+    if isinstance(formula, ast.Truth):
+        return True
+    if isinstance(formula, GroundNode):
+        return True  # constant under our always-exists node semantics
+    if isinstance(formula, ast.Not):
+        return isinstance(formula.body, (GroundEdge, GroundNode))
+    if isinstance(formula, (ast.And, ast.Or)):
+        return all(_anti_monotone(op) for op in formula.operands)
+    return False
+
+
+def _branchiness(formula: ast.Formula) -> int:
+    if isinstance(formula, ast.Or):
+        return sum(_branchiness(op) for op in formula.operands) + len(formula.operands)
+    if isinstance(formula, ast.And):
+        return sum(_branchiness(op) for op in formula.operands)
+    if isinstance(formula, ast.Not):
+        return _branchiness(formula.body)
+    return 0
+
+
+@dataclass
+class SolveResult:
+    """Outcome of µhb enumeration for one litmus test."""
+
+    observable: bool
+    witness: Optional[UhbGraph]
+    cyclic_witness: Optional[UhbGraph] = None
+    leaves_enumerated: int = 0
+    consistent_graphs: int = 0
+    acyclic_graphs: int = 0
+
+    @property
+    def unobservable(self) -> bool:
+        return not self.observable
+
+
+class _Unsatisfiable(Exception):
+    """The ground axioms are contradictory before any search."""
+
+
+class UhbSolver:
+    """Enumerates satisfying µhb graphs for a set of ground axioms."""
+
+    def __init__(self, axiom_formulas: Dict[str, ast.Formula]):
+        self.axiom_names = list(axiom_formulas)
+        self.formulas = [to_nnf(axiom_formulas[name]) for name in self.axiom_names]
+        self.base_adds: List[GroundEdge] = []
+        self.rules: List[Tuple[ast.Formula, List[GroundEdge]]] = []
+        self.obligations: List[ast.Formula] = []
+        self.branching: List[ast.Formula] = []
+        self.unsatisfiable = False
+        try:
+            for formula in self.formulas:
+                self._classify(formula)
+        except _Unsatisfiable:
+            self.unsatisfiable = True
+        self.branching.sort(key=_branchiness)
+
+    # ------------------------------------------------------------------
+
+    def _classify(self, formula: ast.Formula) -> None:
+        if isinstance(formula, ast.Truth):
+            if not formula.value:
+                raise _Unsatisfiable
+            return
+        if isinstance(formula, ast.And):
+            for op in formula.operands:
+                self._classify(op)
+            return
+        if isinstance(formula, GroundEdge):
+            if formula.kind == "add":
+                self.base_adds.append(formula)
+            else:
+                self.obligations.append(formula)
+            return
+        if isinstance(formula, (ast.Not, GroundNode)):
+            self.obligations.append(formula)
+            return
+        if isinstance(formula, ast.Or):
+            with_adds = [op for op in formula.operands if contains_add(op)]
+            without = [op for op in formula.operands if not contains_add(op)]
+            if not with_adds:
+                self.obligations.append(formula)
+                return
+            if len(with_adds) == 1:
+                adds = _pure_adds(with_adds[0])
+                guard = ast.disjunction(without)
+                if adds is not None and _anti_monotone(guard):
+                    self.rules.append((guard, adds))
+                    return
+            self.branching.append(formula)
+            return
+        if isinstance(formula, LoadValue):
+            raise UspecError(
+                "symbolic load values reached the µhb solver; ground the "
+                "axioms in 'check' mode for microarchitectural verification"
+            )
+        raise UspecError(f"unexpected ground formula: {formula!r}")
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        find_all: bool = False,
+        prune_cycles: bool = True,
+        max_graphs: int = MAX_GRAPHS,
+        stop_on_cyclic: bool = False,
+    ) -> SolveResult:
+        """Enumerate satisfying graphs.
+
+        Stops at the first consistent acyclic graph unless ``find_all``.
+        With ``prune_cycles=False`` cyclic graphs are completed and
+        rechecked too (populating ``cyclic_witness`` — used to render
+        paper-Figure-3a-style graphs for forbidden outcomes).
+        """
+        result = SolveResult(observable=False, witness=None)
+        if self.unsatisfiable:
+            return result
+        graph = UhbGraph()
+        seen: Set[frozenset] = set()
+
+        def add_edge(edge: GroundEdge, undo: List[GroundEdge]) -> bool:
+            """Add an edge; False means this branch can never be acyclic."""
+            if graph.has_edge(edge.src, edge.dst):
+                return True
+            if prune_cycles and graph.would_close_cycle(edge.src, edge.dst):
+                return False
+            graph.add_edge(edge.src, edge.dst, edge.label, edge.colour)
+            undo.append(edge)
+            return True
+
+        def undo_edges(undo: List[GroundEdge]) -> None:
+            for edge in reversed(undo):
+                graph.remove_edge(edge.src, edge.dst)
+
+        def chain_rules(undo: List[GroundEdge]) -> bool:
+            """Forward-chain Horn rules to fixpoint."""
+            changed = True
+            while changed:
+                changed = False
+                membership = graph.edge_set()
+                for guard, adds in self.rules:
+                    if all(graph.has_edge(e.src, e.dst) for e in adds):
+                        continue
+                    if self._holds(guard, membership):
+                        continue
+                    for edge in adds:
+                        if not add_edge(edge, undo):
+                            return False
+                    changed = True
+            return True
+
+        def on_leaf() -> bool:
+            """Returns True to stop the whole search."""
+            undo: List[GroundEdge] = []
+            try:
+                if not chain_rules(undo):
+                    return False
+                key = frozenset(graph.edge_set())
+                if key in seen:
+                    return False
+                seen.add(key)
+                result.leaves_enumerated += 1
+                if result.leaves_enumerated >= max_graphs:
+                    raise UspecError(
+                        f"µhb enumeration exceeded {max_graphs} graphs; "
+                        "the axioms are likely underconstrained"
+                    )
+                if not self._recheck(graph.edge_set()):
+                    return False
+                result.consistent_graphs += 1
+                if graph.is_acyclic():
+                    result.acyclic_graphs += 1
+                    if result.witness is None:
+                        result.witness = graph.copy()
+                    result.observable = True
+                    return not find_all
+                if result.cyclic_witness is None:
+                    result.cyclic_witness = graph.copy()
+                return stop_on_cyclic
+            finally:
+                undo_edges(undo)
+
+        def search(items: List[ast.Formula]) -> bool:
+            if not items:
+                return on_leaf()
+            head, rest = items[0], items[1:]
+            if isinstance(head, ast.Truth):
+                return search(rest) if head.value else False
+            if isinstance(head, ast.And):
+                return search(list(head.operands) + rest)
+            if isinstance(head, ast.Or):
+                for op in head.operands:
+                    if search([op] + rest):
+                        return True
+                return False
+            if isinstance(head, GroundEdge):
+                if head.kind == "add":
+                    if graph.has_edge(head.src, head.dst):
+                        return search(rest)
+                    if prune_cycles and graph.would_close_cycle(head.src, head.dst):
+                        return False
+                    graph.add_edge(head.src, head.dst, head.label, head.colour)
+                    stop = search(rest)
+                    graph.remove_edge(head.src, head.dst)
+                    return stop
+                return search(rest)  # recheck obligation
+            if isinstance(head, (ast.Not, GroundNode)):
+                return search(rest)  # recheck obligation
+            raise UspecError(f"unexpected formula in search: {head!r}")
+
+        base_undo: List[GroundEdge] = []
+        try:
+            for edge in self.base_adds:
+                if not add_edge(edge, base_undo):
+                    return result
+            search(list(self.branching))
+        finally:
+            undo_edges(base_undo)
+        return result
+
+    def find_cyclic_witness(self, max_graphs: int = MAX_GRAPHS) -> Optional[UhbGraph]:
+        """A consistent but cyclic µhb graph, if one exists (for
+        rendering why a forbidden outcome is unobservable)."""
+        result = self.solve(
+            prune_cycles=False, max_graphs=max_graphs, stop_on_cyclic=True
+        )
+        return result.cyclic_witness
+
+    # ------------------------------------------------------------------
+
+    def _recheck(self, membership: Set[GraphEdge]) -> bool:
+        return all(self._holds(f, membership) for f in self.formulas)
+
+    def _holds(self, formula: ast.Formula, membership: Set[GraphEdge]) -> bool:
+        if isinstance(formula, ast.Truth):
+            return formula.value
+        if isinstance(formula, ast.Not):
+            return not self._holds(formula.body, membership)
+        if isinstance(formula, ast.And):
+            return all(self._holds(op, membership) for op in formula.operands)
+        if isinstance(formula, ast.Or):
+            return any(self._holds(op, membership) for op in formula.operands)
+        if isinstance(formula, GroundEdge):
+            return (formula.src, formula.dst) in membership
+        if isinstance(formula, GroundNode):
+            return True
+        raise UspecError(f"cannot recheck {formula!r}")

@@ -1,0 +1,75 @@
+"""Microarchitectural MCM verification (the Check-suite layer).
+
+This is the verification RTLCheck builds on: for a litmus test and a
+µspec model, exhaustively enumerate µhb graphs and decide whether the
+test's candidate outcome is observable on the modeled microarchitecture
+(paper §2.1).  For an SC machine like Multi-V-scale, a forbidden
+outcome must be unobservable: every satisfying graph is cyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.litmus.test import CompiledTest, LitmusTest, compile_test
+from repro.uhb.graph import UhbGraph
+from repro.uhb.solver import SolveResult, UhbSolver
+from repro.uspec.ast import Model
+from repro.uspec.eval import EvalContext, evaluate_axioms
+
+
+@dataclass
+class MicroarchResult:
+    """Verdict of microarchitectural verification for one test."""
+
+    test: LitmusTest
+    observable: bool
+    solve: SolveResult
+
+    @property
+    def witness(self) -> Optional[UhbGraph]:
+        return self.solve.witness
+
+    def summary(self) -> str:
+        verdict = "observable" if self.observable else "unobservable"
+        return (
+            f"{self.test.name}: outcome ({self.test.outcome}) is {verdict} "
+            f"at the microarchitecture level "
+            f"({self.solve.consistent_graphs} consistent graphs, "
+            f"{self.solve.acyclic_graphs} acyclic)"
+        )
+
+
+def ground_axioms(model: Model, compiled: CompiledTest, mode: str = "check") -> Dict:
+    """Ground every axiom of ``model`` for ``compiled`` in ``mode``."""
+    context = EvalContext.for_compiled(compiled, mode=mode)
+    return evaluate_axioms(model, context)
+
+
+def microarch_observable(
+    model: Model,
+    test: LitmusTest,
+    compiled: Optional[CompiledTest] = None,
+    find_all: bool = False,
+) -> MicroarchResult:
+    """Is the test outcome observable on the modeled microarchitecture?"""
+    compiled = compiled or compile_test(test)
+    solver = UhbSolver(ground_axioms(model, compiled, mode="check"))
+    result = solver.solve(find_all=find_all)
+    return MicroarchResult(test=test, observable=result.observable, solve=result)
+
+
+def cyclic_witness_graph(
+    model: Model, test: LitmusTest, compiled: Optional[CompiledTest] = None
+) -> Optional[UhbGraph]:
+    """A consistent-but-cyclic µhb graph for the outcome (Figure 3a
+    style), if one exists."""
+    compiled = compiled or compile_test(test)
+    solver = UhbSolver(ground_axioms(model, compiled, mode="check"))
+    return solver.find_cyclic_witness()
+
+
+def instruction_labels(compiled: CompiledTest) -> Dict[int, str]:
+    """uid -> pretty label ("i1: [x] <- 1") for DOT rendering."""
+    return {op.uid: f"i{op.uid}: {op.op}" for op in compiled.ops}

@@ -1,0 +1,42 @@
+"""The µspec microarchitectural modeling language."""
+
+from repro.uspec import ast
+from repro.uspec.eval import (
+    EvalContext,
+    GroundEdge,
+    GroundNode,
+    LoadValue,
+    Micro,
+    evaluate_axiom,
+    evaluate_axioms,
+    evaluate_formula,
+    micros_from_compiled,
+)
+from repro.uspec.lexer import Token, tokenize
+from repro.uspec.lint import LintFinding, LintReport, lint_model, lint_source
+from repro.uspec.model import load_model, model_source, multi_vscale_model
+from repro.uspec.parser import parse_formula, parse_uspec
+
+__all__ = [
+    "EvalContext",
+    "GroundEdge",
+    "GroundNode",
+    "LoadValue",
+    "Micro",
+    "LintFinding",
+    "LintReport",
+    "lint_model",
+    "lint_source",
+    "Token",
+    "ast",
+    "evaluate_axiom",
+    "evaluate_axioms",
+    "evaluate_formula",
+    "load_model",
+    "micros_from_compiled",
+    "model_source",
+    "multi_vscale_model",
+    "parse_formula",
+    "parse_uspec",
+    "tokenize",
+]

@@ -1,0 +1,74 @@
+"""Tokenizer for µspec source text."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import UspecSyntaxError
+
+#: Multi-character symbols, longest first.
+_SYMBOLS = ["/\\", "\\/", "=>", "(", ")", "[", "]", ",", ";", ".", ":", "~"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident', 'string', 'symbol', 'eof'
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Lex ``source`` into tokens; ``%`` and ``//`` start line comments."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "%" or source.startswith("//", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if ch == '"':
+            end = source.find('"', i + 1)
+            if end == -1:
+                raise UspecSyntaxError("unterminated string", line, column)
+            text = source[i + 1 : end]
+            if "\n" in text:
+                raise UspecSyntaxError("newline in string", line, column)
+            tokens.append(Token("string", text, line, column))
+            column += end - i + 1
+            i = end + 1
+            continue
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, line, column))
+                i += len(symbol)
+                column += len(symbol)
+                break
+        else:
+            if ch.isalnum() or ch == "_":
+                j = i
+                while j < length and (source[j].isalnum() or source[j] in "_'"):
+                    j += 1
+                tokens.append(Token("ident", source[i:j], line, column))
+                column += j - i
+                i = j
+            else:
+                raise UspecSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens

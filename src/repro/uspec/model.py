@@ -1,0 +1,29 @@
+"""Bundled µspec models."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.uspec.ast import Model
+from repro.uspec.parser import parse_uspec
+
+_MODEL_DIR = Path(__file__).resolve().parent / "models"
+_CACHE = {}
+
+
+def model_source(name: str) -> str:
+    """The raw µspec source of a bundled model."""
+    path = _MODEL_DIR / f"{name}.uspec"
+    return path.read_text()
+
+
+def load_model(name: str) -> Model:
+    """Parse and cache a bundled model by name."""
+    if name not in _CACHE:
+        _CACHE[name] = parse_uspec(model_source(name))
+    return _CACHE[name]
+
+
+def multi_vscale_model() -> Model:
+    """The Multi-V-scale microarchitecture model (paper §5.3)."""
+    return load_model("multi_vscale")

@@ -1,0 +1,277 @@
+"""Recursive-descent parser for µspec.
+
+Grammar (faithful to the fragments in paper Figures 3b / 5)::
+
+    model      := (stages | macro | axiom)*
+    stages     := 'Stages' string (',' string)* '.'
+    macro      := 'DefineMacro' string string* ':' formula '.'
+    axiom      := 'Axiom' string ':' formula '.'
+    formula    := quantified | implication
+    quantified := ('forall'|'exists') domain string (',' string)* ',' formula
+    domain     := 'microop' | 'microops' | 'core' | 'cores'
+    implication:= disjunct ('=>' formula)?
+    disjunct   := conjunct ('\\/' conjunct)*
+    conjunct   := unary ('/\\' unary)*
+    unary      := '~' unary | primary
+    primary    := '(' formula ')' | edge/node atoms | ExpandMacro | predicate
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import UspecSyntaxError
+from repro.uspec.ast import (
+    AddEdge,
+    AddEdges,
+    And,
+    Axiom,
+    EdgeExists,
+    EdgeRef,
+    EdgesExist,
+    ExpandMacro,
+    Formula,
+    Implies,
+    Macro,
+    Model,
+    NodeExists,
+    NodeRef,
+    Not,
+    Or,
+    Predicate,
+    Quantifier,
+    Truth,
+    Var,
+)
+from repro.uspec.lexer import Token, tokenize
+
+_DOMAINS = {
+    "microop": "microop",
+    "microops": "microop",
+    "core": "core",
+    "cores": "core",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def error(self, message: str, token: Token = None) -> UspecSyntaxError:
+        token = token or self.peek()
+        return UspecSyntaxError(message, token.line, token.column)
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.next()
+        if token.kind != "symbol" or token.text != symbol:
+            raise self.error(f"expected {symbol!r}, got {token.text!r}", token)
+        return token
+
+    def expect_ident(self, text: str = None) -> Token:
+        token = self.next()
+        if token.kind != "ident" or (text is not None and token.text != text):
+            raise self.error(f"expected identifier {text or ''}, got {token.text!r}", token)
+        return token
+
+    def expect_string(self) -> str:
+        token = self.next()
+        if token.kind != "string":
+            raise self.error(f"expected string literal, got {token.text!r}", token)
+        return token.text
+
+    def at_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        return token.kind == "symbol" and token.text == symbol
+
+    def at_ident(self, text: str = None) -> bool:
+        token = self.peek()
+        return token.kind == "ident" and (text is None or token.text == text)
+
+    # -- model ---------------------------------------------------------
+
+    def parse_model(self) -> Model:
+        model = Model()
+        while not self.peek().kind == "eof":
+            if self.at_ident("Stages"):
+                self.next()
+                model.stages = [self.expect_string()]
+                while self.at_symbol(","):
+                    self.next()
+                    model.stages.append(self.expect_string())
+                self.expect_symbol(".")
+            elif self.at_ident("DefineMacro"):
+                self.next()
+                name = self.expect_string()
+                params = []
+                while self.peek().kind == "string":
+                    params.append(self.expect_string())
+                self.expect_symbol(":")
+                body = self.parse_formula()
+                self.expect_symbol(".")
+                model.macros.append(Macro(name, tuple(params), body))
+            elif self.at_ident("Axiom"):
+                self.next()
+                name = self.expect_string()
+                self.expect_symbol(":")
+                body = self.parse_formula()
+                self.expect_symbol(".")
+                model.axioms.append(Axiom(name, body))
+            else:
+                raise self.error(
+                    f"expected Stages/DefineMacro/Axiom, got {self.peek().text!r}"
+                )
+        return model
+
+    # -- formulas --------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        token = self.peek()
+        if token.kind == "ident" and token.text in ("forall", "exists"):
+            return self.parse_quantifier()
+        return self.parse_implication()
+
+    def parse_quantifier(self) -> Formula:
+        kind = self.next().text
+        domain_token = self.next()
+        domain = _DOMAINS.get(domain_token.text)
+        if domain_token.kind != "ident" or domain is None:
+            raise self.error("expected 'microop(s)' or 'core(s)'", domain_token)
+        names = [self.expect_string()]
+        self.expect_symbol(",")
+        while self.peek().kind == "string":
+            names.append(self.expect_string())
+            self.expect_symbol(",")
+        body = self.parse_formula()
+        return Quantifier(kind, domain, tuple(names), body)
+
+    def parse_implication(self) -> Formula:
+        left = self.parse_disjunction()
+        if self.at_symbol("=>"):
+            self.next()
+            return Implies(left, self.parse_formula())
+        return left
+
+    def parse_disjunction(self) -> Formula:
+        operands = [self.parse_conjunction()]
+        while self.at_symbol("\\/"):
+            self.next()
+            operands.append(self.parse_conjunction())
+        return operands[0] if len(operands) == 1 else Or(tuple(operands))
+
+    def parse_conjunction(self) -> Formula:
+        operands = [self.parse_unary()]
+        while self.at_symbol("/\\"):
+            self.next()
+            operands.append(self.parse_unary())
+        return operands[0] if len(operands) == 1 else And(tuple(operands))
+
+    def parse_unary(self) -> Formula:
+        if self.at_symbol("~"):
+            self.next()
+            return Not(self.parse_unary())
+        if self.at_ident("forall") or self.at_ident("exists"):
+            # A quantifier nested inside a connective; its body extends
+            # as far right as possible (parenthesize to scope it).
+            return self.parse_quantifier()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Formula:
+        if self.at_symbol("("):
+            self.next()
+            inner = self.parse_formula()
+            self.expect_symbol(")")
+            return inner
+        token = self.peek()
+        if token.kind != "ident":
+            raise self.error(f"expected formula, got {token.text!r}", token)
+        name = self.next().text
+        if name == "True":
+            return Truth(True)
+        if name == "False":
+            return Truth(False)
+        if name == "AddEdge":
+            return AddEdge(self.parse_edge())
+        if name == "EdgeExists":
+            return EdgeExists(self.parse_edge())
+        if name == "AddEdges":
+            return AddEdges(self.parse_edge_list())
+        if name == "EdgesExist":
+            return EdgesExist(self.parse_edge_list())
+        if name == "NodeExists":
+            return NodeExists(self.parse_node())
+        if name == "ExpandMacro":
+            macro_name = self.expect_ident().text
+            args = []
+            while self.peek().kind == "ident" and not self._ident_is_keyword():
+                args.append(Var(self.next().text))
+            return ExpandMacro(macro_name, tuple(args))
+        # Otherwise: a predicate with variable arguments.
+        args = []
+        while self.peek().kind == "ident" and not self._ident_is_keyword():
+            args.append(Var(self.next().text))
+        if not args:
+            raise self.error(f"predicate {name} needs arguments")
+        return Predicate(name, tuple(args))
+
+    def _ident_is_keyword(self) -> bool:
+        return self.peek().text in ("forall", "exists")
+
+    # -- terms -----------------------------------------------------------
+
+    def parse_node(self) -> NodeRef:
+        self.expect_symbol("(")
+        microop = Var(self.expect_ident().text)
+        self.expect_symbol(",")
+        stage = self.expect_ident().text
+        self.expect_symbol(")")
+        return NodeRef(microop, stage)
+
+    def parse_edge(self) -> EdgeRef:
+        self.expect_symbol("(")
+        src = self.parse_node()
+        self.expect_symbol(",")
+        dst = self.parse_node()
+        label = colour = ""
+        if self.at_symbol(","):
+            self.next()
+            label = self.expect_string()
+            if self.at_symbol(","):
+                self.next()
+                colour = self.expect_string()
+        self.expect_symbol(")")
+        return EdgeRef(src, dst, label, colour)
+
+    def parse_edge_list(self) -> Tuple[EdgeRef, ...]:
+        self.expect_symbol("[")
+        edges = [self.parse_edge()]
+        while self.at_symbol(";"):
+            self.next()
+            edges.append(self.parse_edge())
+        self.expect_symbol("]")
+        return tuple(edges)
+
+
+def parse_uspec(source: str) -> Model:
+    """Parse µspec ``source`` into a :class:`~repro.uspec.ast.Model`."""
+    return _Parser(tokenize(source)).parse_model()
+
+
+def parse_formula(source: str) -> Formula:
+    """Parse a single formula (handy in tests)."""
+    parser = _Parser(tokenize(source))
+    formula = parser.parse_formula()
+    if parser.peek().kind != "eof":
+        raise parser.error("trailing input after formula")
+    return formula

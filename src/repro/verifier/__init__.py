@@ -1,0 +1,28 @@
+"""The property verifier (JasperGold substitute) and its configurations."""
+
+from repro.verifier.simulation import SimulationReport, simulate_check
+from repro.verifier.explorer import (
+    BOUNDED,
+    Budget,
+    ExplorationResult,
+    Explorer,
+    FAILED,
+    PROVEN,
+    REACHABLE,
+    UNKNOWN,
+    UNREACHABLE,
+)
+
+__all__ = [
+    "BOUNDED",
+    "Budget",
+    "ExplorationResult",
+    "Explorer",
+    "FAILED",
+    "PROVEN",
+    "REACHABLE",
+    "UNKNOWN",
+    "UNREACHABLE",
+    "SimulationReport",
+    "simulate_check",
+]

@@ -1,0 +1,39 @@
+"""The Multi-V-scale processor model (paper Figure 1, Section 5)."""
+
+from repro.vscale.arbiter import Arbiter
+from repro.vscale.core import VScaleCore, cached_decode
+from repro.vscale.memory import BuggyMemory, FixedMemory, MemoryBase
+from repro.vscale.params import (
+    DMEM_LOAD,
+    DMEM_NONE,
+    DMEM_STORE,
+    IMEM_WORDS_PER_CORE,
+    NUM_CORES,
+    core_base_pc,
+    imem_base_word,
+)
+from repro.vscale.soc import MultiVScale
+from repro.vscale.tso import STORE_BUFFER_CAPACITY, MultiVScaleTSO
+from repro.vscale.verilog import emit_design, emit_top_module, emit_verification_bundle
+
+__all__ = [
+    "Arbiter",
+    "BuggyMemory",
+    "DMEM_LOAD",
+    "DMEM_NONE",
+    "DMEM_STORE",
+    "FixedMemory",
+    "IMEM_WORDS_PER_CORE",
+    "MemoryBase",
+    "MultiVScale",
+    "MultiVScaleTSO",
+    "STORE_BUFFER_CAPACITY",
+    "NUM_CORES",
+    "VScaleCore",
+    "cached_decode",
+    "emit_design",
+    "emit_top_module",
+    "emit_verification_bundle",
+    "core_base_pc",
+    "imem_base_word",
+]

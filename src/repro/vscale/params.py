@@ -1,0 +1,37 @@
+"""Layout and encoding constants of the Multi-V-scale SoC.
+
+The address map mirrors the paper's Figure 8: word 0 is reserved (PC 0
+doubles as the pipeline-bubble sentinel in ``PC_WB``), each core's
+read-only instruction words follow, and litmus data words sit above
+(:data:`repro.litmus.test.DATA_BASE_WORD`).
+"""
+
+from repro.litmus.test import DATA_BASE_WORD, DATA_MEM_WORDS
+
+#: Cores instantiated in the Multi-V-scale SoC (paper Figure 1).
+NUM_CORES = 4
+
+#: Instruction words reserved per core (program + halt must fit).
+IMEM_WORDS_PER_CORE = 8
+
+#: dmem_type encodings used in pipeline registers and trace frames.
+DMEM_NONE = 0
+DMEM_LOAD = 1
+DMEM_STORE = 2
+
+
+def imem_base_word(core: int) -> int:
+    """First instruction-memory word of ``core``."""
+    return 1 + IMEM_WORDS_PER_CORE * core
+
+
+def core_base_pc(core: int) -> int:
+    """Reset PC of ``core``."""
+    return 4 * imem_base_word(core)
+
+
+#: First / one-past-last data words (re-exported for convenience).
+DATA_FIRST_WORD = DATA_BASE_WORD
+DATA_LAST_WORD = DATA_MEM_WORDS
+
+assert imem_base_word(NUM_CORES) <= DATA_FIRST_WORD, "imem overlaps data"

@@ -1,0 +1,197 @@
+"""The Multi-V-scale SoC: four V-scale cores, an arbiter, data memory.
+
+This is the paper's Figure 1 design as a simulatable
+:class:`~repro.rtl.design.Design`.  The free input ``arb_select`` names
+the core the arbiter grants next cycle; the property verifier branches
+over it every cycle, exactly as JasperGold explored "all possibilities
+for this input" (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence
+
+from repro.errors import RtlError
+from repro.isa import encode
+from repro.litmus.test import CompiledTest
+from repro.rtl.design import Design, Frame, FreeInput
+from repro.vscale.arbiter import Arbiter
+from repro.vscale.core import VScaleCore
+from repro.vscale.memory import BuggyMemory, FixedMemory, MemoryBase
+from repro.vscale.params import (
+    DMEM_LOAD,
+    DMEM_STORE,
+    IMEM_WORDS_PER_CORE,
+    NUM_CORES,
+)
+
+
+class MultiVScale(Design):
+    """The four-core V-scale SoC, programmed with one compiled litmus test.
+
+    ``memory_variant`` selects ``"buggy"`` (the shipped V-scale memory
+    with the store-dropping bug of §7.1) or ``"fixed"`` (the paper's
+    corrected memory).
+    """
+
+    def __init__(self, compiled: CompiledTest, memory_variant: str = "fixed"):
+        if compiled.num_cores != NUM_CORES:
+            raise RtlError(f"expected {NUM_CORES}-core compile, got {compiled.num_cores}")
+        self.compiled = compiled
+        self.memory_variant = memory_variant
+        self.cores: List[VScaleCore] = []
+        for core_id, program in enumerate(compiled.programs):
+            if len(program) > IMEM_WORDS_PER_CORE:
+                raise RtlError(f"core {core_id}: program too long for imem")
+            imem = [encode(instr) for instr in program]
+            self.cores.append(VScaleCore(core_id, imem))
+        self.arbiter = Arbiter(NUM_CORES)
+        if memory_variant == "buggy":
+            self.memory: MemoryBase = BuggyMemory(compiled.initial_data_memory)
+        elif memory_variant == "fixed":
+            self.memory = FixedMemory(compiled.initial_data_memory)
+        else:
+            raise RtlError(f"unknown memory variant {memory_variant!r}")
+        self.data_words = sorted(compiled.initial_data_memory)
+        self._pending_tick = None
+        self.reset()
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        for core_id, core in enumerate(self.cores):
+            core.reset(self.compiled.reg_init[core_id])
+        self.arbiter.reset()
+        self.memory.reset()
+        self._pending_tick = None
+
+    def free_inputs(self) -> Sequence[FreeInput]:
+        return (FreeInput("arb_select", NUM_CORES),)
+
+    # ------------------------------------------------------------------
+
+    def eval_comb(self, inputs) -> Frame:
+        select = inputs.get("arb_select", 0)
+        granted = self.arbiter.cur_core
+        views = [core.dx_view() for core in self.cores]
+
+        stall_dx = [
+            view.is_mem and core_id != granted
+            for core_id, view in enumerate(views)
+        ]
+
+        # Address phase: the granted core's DX memory op starts a txn.
+        new_txn = None
+        granted_view = views[granted]
+        if granted_view.is_mem:
+            new_txn = (granted, granted_view.wb_type, granted_view.mem_addr >> 2)
+
+        # Data phase: the transaction started last cycle completes.
+        pending = self.memory.pending
+        store_data_in = 0
+        load_out = 0
+        if pending is not None:
+            owner_core, kind, _addr = pending
+            owner = self.cores[owner_core]
+            if kind == DMEM_STORE:
+                store_data_in = owner.wb_store_data
+            else:
+                load_out = self.memory.load_output()
+
+        frame: Frame = {}
+        for core_id, core in enumerate(self.cores):
+            view = views[core_id]
+            prefix = f"core[{core_id}]."
+            frame[prefix + "PC_IF"] = core.pc_if
+            frame[prefix + "PC_DX"] = view.pc if view.valid else 0
+            frame[prefix + "PC_WB"] = core.wb_pc if core.wb_valid else 0
+            frame[prefix + "stall_IF"] = int(stall_dx[core_id] or core.fetch_stop)
+            frame[prefix + "stall_DX"] = int(stall_dx[core_id])
+            frame[prefix + "stall_WB"] = 0
+            frame[prefix + "dmem_type_DX"] = view.wb_type if view.valid else 0
+            frame[prefix + "dmem_type_WB"] = core.wb_type
+            is_load_data_phase = (
+                pending is not None
+                and pending[0] == core_id
+                and pending[1] == DMEM_LOAD
+                and core.wb_type == DMEM_LOAD
+            )
+            frame[prefix + "load_data_WB"] = load_out if is_load_data_phase else 0
+            frame[prefix + "store_data_WB"] = core.wb_store_data
+            frame[prefix + "halted"] = int(core.halted)
+        frame["arbiter.cur_core"] = self.arbiter.cur_core
+        frame["arbiter.prev_core"] = self.arbiter.prev_core
+        for word in self.data_words:
+            frame[f"mem[{word}]"] = self.memory.read_word(word)
+        if isinstance(self.memory, BuggyMemory):
+            frame["mem.wvalid"] = self.memory.wvalid
+            frame["mem.waddr"] = self.memory.waddr
+            frame["mem.wdata"] = self.memory.wdata
+
+        self._pending_tick = (select, views, stall_dx, new_txn, store_data_in, load_out, pending)
+        return frame
+
+    def tick(self) -> None:
+        if self._pending_tick is None:
+            raise RtlError("tick() called before eval_comb()")
+        select, views, stall_dx, new_txn, store_data_in, load_out, pending = self._pending_tick
+        self._pending_tick = None
+        self.memory.tick(new_txn, store_data_in)
+        self.arbiter.tick(select)
+        for core_id, core in enumerate(self.cores):
+            load_data = 0
+            if (
+                pending is not None
+                and pending[0] == core_id
+                and pending[1] == DMEM_LOAD
+            ):
+                load_data = load_out
+            core.tick(views[core_id], stall_dx[core_id], load_data)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Hashable:
+        return (
+            tuple(core.snapshot() for core in self.cores),
+            self.arbiter.snapshot(),
+            self.memory.snapshot(),
+        )
+
+    def restore(self, state: Hashable) -> None:
+        core_states, arb_state, mem_state = state
+        for core, core_state in zip(self.cores, core_states):
+            core.restore(core_state)
+        self.arbiter.restore(arb_state)
+        self.memory.restore(mem_state)
+        self._pending_tick = None
+
+    # ------------------------------------------------------------------
+
+    def all_halted(self) -> bool:
+        """Every core has retired its halt (test instructions complete)."""
+        return all(core.halted for core in self.cores)
+
+    def drained(self) -> bool:
+        """All halted with empty pipelines and no in-flight transaction:
+        the architectural state can no longer change."""
+        return (
+            self.all_halted()
+            and all(not c.dx_valid and not c.wb_valid for c in self.cores)
+            and self.memory.pending is None
+        )
+
+    def register_results(self) -> Dict[str, int]:
+        """Litmus output registers read back from the register files
+        (meaningful once :meth:`drained`)."""
+        results: Dict[str, int] = {}
+        for op in self.compiled.ops:
+            if op.op.is_load:
+                results[op.op.out] = self.cores[op.core].regs[op.data_reg]
+        return results
+
+    def memory_results(self) -> Dict[str, int]:
+        """Final litmus variable values read back from data memory."""
+        return {
+            var: self.memory.read_word(word)
+            for var, word in self.compiled.address_map.items()
+        }

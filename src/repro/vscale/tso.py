@@ -1,0 +1,297 @@
+"""Multi-V-scale-TSO: a store-buffer variant implementing x86-TSO.
+
+The paper emphasizes that RTLCheck "supports arbitrary ISA-level MCMs,
+including ones as sophisticated as x86-TSO" but only evaluates an SC
+design.  This module provides the weaker-model case study: each core
+gains a FIFO store buffer with store-to-load forwarding, so the machine
+exhibits the classic TSO relaxation (the store-buffering outcome of
+``sb`` becomes observable) while still satisfying a TSO µspec model
+(``repro/uspec/models/multi_vscale_tso.uspec``).
+
+Microarchitecture
+-----------------
+
+* Stores do **not** arbitrate for memory at DX; they retire into their
+  core's store buffer at the end of WB.
+* Loads arbitrate at DX (address phase) as on the SC design; in their
+  WB data phase they *forward* from the youngest same-address entry of
+  their own store buffer, else read the memory array.
+* When the arbiter grants a core whose DX does not need the port, the
+  core *drains* its store-buffer head instead: the entry pops at the
+  grant cycle and commits to the array during the next cycle (the drain
+  occupies the port's data-phase slot, so at most one memory event —
+  a load's data phase or a store's commit — happens per cycle, which is
+  what makes the µhb ``Memory`` stage events totally ordered and the
+  generated SVA sequences well-formed).
+* ``fence`` and ``halt`` stall in DX until the core's buffer has fully
+  drained, so a drained machine has committed everything.
+
+Signals added to trace frames: ``core[i].sb_count``,
+``core[i].commit_valid`` / ``core[i].commit_pc`` (the Memory-stage event
+of the committing store), and ``core[i].fwd_valid`` (the load in WB
+forwarded from the store buffer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import RtlError
+from repro.isa import Fence, Halt, Lw, Sw, encode
+from repro.litmus.test import CompiledTest
+from repro.rtl.design import Design, Frame, FreeInput
+from repro.vscale.arbiter import Arbiter
+from repro.vscale.core import VScaleCore
+from repro.vscale.params import (
+    DMEM_LOAD,
+    DMEM_NONE,
+    DMEM_STORE,
+    IMEM_WORDS_PER_CORE,
+    NUM_CORES,
+)
+
+#: Store-buffer capacity per core.
+STORE_BUFFER_CAPACITY = 2
+
+#: A store-buffer entry: (word address, data, absolute pc).
+SbEntry = Tuple[int, int, int]
+
+#: An in-flight port transaction: a load's data phase or a drain commit.
+#: ("L", core, addr) or ("D", core, addr, data, pc)
+Txn = Tuple
+
+
+class MultiVScaleTSO(Design):
+    """The four-core V-scale SoC with per-core store buffers (x86-TSO).
+
+    ``drain_order`` selects ``"fifo"`` (correct) or ``"lifo"`` — a
+    seeded bug where the buffer drains its *youngest* entry first,
+    breaking the total-store-order guarantee; RTLCheck's
+    Store_Buffer_FIFO / Read_Values assertions catch it (the TSO
+    analogue of the paper's §7.1 case study).
+    """
+
+    def __init__(self, compiled: CompiledTest, drain_order: str = "fifo"):
+        if compiled.num_cores != NUM_CORES:
+            raise RtlError(f"expected {NUM_CORES}-core compile")
+        if drain_order not in ("fifo", "lifo"):
+            raise RtlError(f"unknown drain order {drain_order!r}")
+        self.drain_order = drain_order
+        self.compiled = compiled
+        self.cores: List[VScaleCore] = []
+        for core_id, program in enumerate(compiled.programs):
+            if len(program) > IMEM_WORDS_PER_CORE:
+                raise RtlError(f"core {core_id}: program too long for imem")
+            self.cores.append(VScaleCore(core_id, [encode(i) for i in program]))
+        self.arbiter = Arbiter(NUM_CORES)
+        self.data_words = sorted(compiled.initial_data_memory)
+        self.reset()
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        for core_id, core in enumerate(self.cores):
+            core.reset(self.compiled.reg_init[core_id])
+        self.arbiter.reset()
+        self.array: Dict[int, int] = dict(self.compiled.initial_data_memory)
+        self.buffers: List[List[SbEntry]] = [[] for _ in range(NUM_CORES)]
+        self.pending: Optional[Txn] = None
+        self._tick_plan = None
+
+    def free_inputs(self) -> Sequence[FreeInput]:
+        return (FreeInput("arb_select", NUM_CORES),)
+
+    # ------------------------------------------------------------------
+
+    def read_word(self, word: int) -> int:
+        return self.array.get(word, 0)
+
+    def _forward(self, core_id: int, word: int) -> Optional[int]:
+        """Youngest same-address store-buffer entry of ``core_id``."""
+        for addr, data, _pc in reversed(self.buffers[core_id]):
+            if addr == word:
+                return data
+        return None
+
+    def eval_comb(self, inputs) -> Frame:
+        select = inputs.get("arb_select", 0)
+        granted = self.arbiter.cur_core
+        views = [core.dx_view() for core in self.cores]
+
+        stall_dx = [False] * NUM_CORES
+        for core_id, (core, view) in enumerate(zip(self.cores, views)):
+            buffer = self.buffers[core_id]
+            # A store currently in WB pushes into the buffer at the end
+            # of this cycle; occupancy checks must count it.
+            wb_store = int(core.wb_valid and core.wb_type == DMEM_STORE)
+            if not view.valid:
+                continue
+            instr = view.instr
+            if isinstance(instr, Lw):
+                # Loads need the port's address phase.
+                stall_dx[core_id] = core_id != granted
+            elif isinstance(instr, Sw):
+                # Stores need store-buffer space when they reach WB.
+                stall_dx[core_id] = (
+                    len(buffer) + wb_store >= STORE_BUFFER_CAPACITY
+                )
+            elif isinstance(instr, (Fence, Halt)):
+                # Fences (and halt, which drains before stopping) wait
+                # for every earlier store: still in WB, buffered, or
+                # with an in-flight commit.
+                in_flight = (
+                    self.pending is not None
+                    and self.pending[0] == "D"
+                    and self.pending[1] == core_id
+                )
+                stall_dx[core_id] = bool(buffer) or in_flight or bool(wb_store)
+
+        # The granted core uses the port: a DX load's address phase, or
+        # a store-buffer drain.
+        new_txn: Optional[Txn] = None
+        granted_view = views[granted]
+        if (
+            granted_view.valid
+            and isinstance(granted_view.instr, Lw)
+            and not stall_dx[granted]
+        ):
+            new_txn = ("L", granted, granted_view.mem_addr >> 2)
+        elif self.buffers[granted]:
+            index = 0 if self.drain_order == "fifo" else -1
+            addr, data, pc = self.buffers[granted][index]
+            new_txn = ("D", granted, addr, data, pc)
+
+        # Data phase of last cycle's transaction.
+        load_out = 0
+        fwd_valid = 0
+        commit = None  # (core, addr, data, pc)
+        if self.pending is not None:
+            if self.pending[0] == "L":
+                _kind, owner, word = self.pending
+                forwarded = self._forward(owner, word)
+                if forwarded is not None:
+                    load_out = forwarded
+                    fwd_valid = 1
+                else:
+                    load_out = self.read_word(word)
+            else:
+                _kind, owner, addr, data, pc = self.pending
+                commit = (owner, addr, data, pc)
+
+        frame: Frame = {}
+        for core_id, core in enumerate(self.cores):
+            view = views[core_id]
+            prefix = f"core[{core_id}]."
+            frame[prefix + "PC_IF"] = core.pc_if
+            frame[prefix + "PC_DX"] = view.pc if view.valid else 0
+            frame[prefix + "PC_WB"] = core.wb_pc if core.wb_valid else 0
+            frame[prefix + "stall_IF"] = int(stall_dx[core_id] or core.fetch_stop)
+            frame[prefix + "stall_DX"] = int(stall_dx[core_id])
+            frame[prefix + "stall_WB"] = 0
+            frame[prefix + "dmem_type_DX"] = view.wb_type if view.valid else 0
+            frame[prefix + "dmem_type_WB"] = core.wb_type
+            is_load_data_phase = (
+                self.pending is not None
+                and self.pending[0] == "L"
+                and self.pending[1] == core_id
+                and core.wb_type == DMEM_LOAD
+            )
+            frame[prefix + "load_data_WB"] = load_out if is_load_data_phase else 0
+            frame[prefix + "fwd_valid"] = fwd_valid if is_load_data_phase else 0
+            frame[prefix + "store_data_WB"] = core.wb_store_data
+            frame[prefix + "halted"] = int(core.halted)
+            frame[prefix + "sb_count"] = len(self.buffers[core_id])
+            if commit is not None and commit[0] == core_id:
+                frame[prefix + "commit_valid"] = 1
+                frame[prefix + "commit_pc"] = commit[3]
+            else:
+                frame[prefix + "commit_valid"] = 0
+                frame[prefix + "commit_pc"] = 0
+        frame["arbiter.cur_core"] = self.arbiter.cur_core
+        frame["arbiter.prev_core"] = self.arbiter.prev_core
+        for word in self.data_words:
+            frame[f"mem[{word}]"] = self.read_word(word)
+
+        self._tick_plan = (select, views, stall_dx, new_txn, load_out, commit)
+        return frame
+
+    def tick(self) -> None:
+        if self._tick_plan is None:
+            raise RtlError("tick() called before eval_comb()")
+        select, views, stall_dx, new_txn, load_out, commit = self._tick_plan
+        self._tick_plan = None
+
+        # Commit the in-flight drain to the array.
+        if commit is not None:
+            _owner, addr, data, _pc = commit
+            self.array[addr] = data
+        # The data phase that completed this cycle (for load routing).
+        old_pending = self.pending
+        # Pop the entry whose drain was scheduled this cycle.
+        if new_txn is not None and new_txn[0] == "D":
+            self.buffers[new_txn[1]].pop(0 if self.drain_order == "fifo" else -1)
+        self.pending = new_txn
+        self.arbiter.tick(select)
+
+        for core_id, core in enumerate(self.cores):
+            view = views[core_id]
+            # Retiring store pushes into the store buffer (end of WB).
+            if core.wb_valid and core.wb_type == DMEM_STORE:
+                self.buffers[core_id].append(
+                    (core.wb_mem_addr >> 2, core.wb_store_data, core.wb_pc)
+                )
+            core_load = 0
+            if (
+                old_pending is not None
+                and old_pending[0] == "L"
+                and old_pending[1] == core_id
+            ):
+                core_load = load_out
+            core.tick(view, stall_dx[core_id], core_load)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Hashable:
+        return (
+            tuple(core.snapshot() for core in self.cores),
+            self.arbiter.snapshot(),
+            tuple(sorted(self.array.items())),
+            tuple(tuple(buf) for buf in self.buffers),
+            self.pending,
+        )
+
+    def restore(self, state: Hashable) -> None:
+        core_states, arb_state, array, buffers, pending = state
+        for core, core_state in zip(self.cores, core_states):
+            core.restore(core_state)
+        self.arbiter.restore(arb_state)
+        self.array = dict(array)
+        self.buffers = [list(buf) for buf in buffers]
+        self.pending = pending
+        self._tick_plan = None
+
+    # ------------------------------------------------------------------
+
+    def all_halted(self) -> bool:
+        return all(core.halted for core in self.cores)
+
+    def drained(self) -> bool:
+        return (
+            self.all_halted()
+            and all(not c.dx_valid and not c.wb_valid for c in self.cores)
+            and all(not buf for buf in self.buffers)
+            and self.pending is None
+        )
+
+    def register_results(self) -> Dict[str, int]:
+        results: Dict[str, int] = {}
+        for op in self.compiled.ops:
+            if op.op.is_load:
+                results[op.op.out] = self.cores[op.core].regs[op.data_reg]
+        return results
+
+    def memory_results(self) -> Dict[str, int]:
+        return {
+            var: self.read_word(word)
+            for var, word in self.compiled.address_map.items()
+        }

@@ -1,0 +1,442 @@
+"""Verilog emission of the Multi-V-scale design.
+
+The original RTLCheck consumes a Verilog design and concatenates the
+generated properties with its top-level module (paper §6).  Our design
+lives as a cycle-accurate Python model; this module emits the
+*equivalent Verilog* — same module structure, same registers, same
+hierarchical signal names the node/program mappings refer to — so the
+repository produces the complete artifact a SystemVerilog flow would
+take: one ``.sv`` file per litmus test holding the parameterized design
+plus all generated assumptions and assertions.
+
+The emitted code mirrors the Python semantics statement for statement:
+
+* ``vscale_core`` — the three-stage pipeline, including Figure 3c's WB
+  register update with its bubble-on-stall behaviour;
+* ``vscale_memory_buggy`` — the shipped memory with the ``wdata``
+  single-entry store buffer and its push-on-next-store bug (§7.1);
+* ``vscale_memory_fixed`` — the paper's corrected memory;
+* ``arbiter`` and ``multi_vscale`` — the four-core top level with the
+  free ``arb_select`` input JasperGold sweeps (§5.2).
+
+Instruction memory and initial register/data values are emitted as
+``initial`` blocks derived from the compiled litmus test (the same
+values the Figure 8 assumptions pin).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa import encode
+from repro.litmus.test import CompiledTest, DATA_MEM_WORDS
+from repro.vscale.params import (
+    IMEM_WORDS_PER_CORE,
+    NUM_CORES,
+    core_base_pc,
+    imem_base_word,
+)
+
+_CORE_MODULE = r"""
+// One V-scale core: three-stage in-order pipeline (IF, DX, WB).
+module vscale_core #(
+    parameter [31:0] BASE_PC = 32'd4
+) (
+    input  wire        clk,
+    input  wire        reset,
+    // instruction memory (read-only, per-core window)
+    output wire [31:0] imem_addr,
+    input  wire [31:0] imem_rdata,
+    // data memory request (address phase, through the arbiter)
+    output wire        dmem_en,
+    output wire        dmem_wen,
+    output wire [31:0] dmem_addr,
+    input  wire        granted,
+    // data phase
+    output wire [31:0] store_data_WB_out,
+    input  wire [31:0] load_data,
+    input  wire        load_valid,
+    output wire        halted_out
+);
+    // ---- register file -------------------------------------------------
+    reg [31:0] regs [0:31];
+
+    // ---- IF stage --------------------------------------------------------
+    reg [31:0] PC_IF;
+    reg        fetch_stop;
+    assign imem_addr = PC_IF;
+
+    // ---- DX stage registers ---------------------------------------------
+    reg        dx_valid;
+    reg [31:0] instr_DX;
+    reg [31:0] PC_DX;
+
+    // decode
+    wire [6:0] opcode  = instr_DX[6:0];
+    wire [4:0] rd      = instr_DX[11:7];
+    wire [4:0] rs1     = instr_DX[19:15];
+    wire [4:0] rs2     = instr_DX[24:20];
+    wire is_load  = dx_valid && (opcode == 7'b0000011);
+    wire is_store = dx_valid && (opcode == 7'b0100011);
+    wire is_halt  = dx_valid && (opcode == 7'b0001011);
+    wire is_mem   = is_load || is_store;
+    wire [11:0] imm_i = instr_DX[31:20];
+    wire [11:0] imm_s = {instr_DX[31:25], instr_DX[11:7]};
+    wire [31:0] mem_addr = regs[rs1] + {{20{instr_DX[31]}},
+                                        (is_store ? imm_s : imm_i)};
+
+    // stall: a memory op waits for the arbiter grant (paper 5.2)
+    wire stall_DX = is_mem && !granted;
+    wire stall_IF = stall_DX || fetch_stop;
+    wire stall_WB = 1'b0;  // memory ready is hard-coded high
+
+    assign dmem_en   = is_mem && granted;
+    assign dmem_wen  = is_store;
+    assign dmem_addr = mem_addr;
+
+    // ---- WB stage registers -----------------------------------------------
+    reg        wb_valid;
+    reg [31:0] PC_WB;
+    reg [1:0]  dmem_type_WB;   // 0 none, 1 load, 2 store
+    reg [31:0] store_data_WB;
+    reg [4:0]  load_dest_WB;
+    reg        wb_is_halt;
+    reg        halted;
+
+    assign store_data_WB_out = store_data_WB;
+    assign halted_out = halted;
+    wire [31:0] load_data_WB = load_valid ? load_data : 32'b0;
+
+    // Figure 3c: update the WB pipeline registers.
+    always @(posedge clk) begin
+        if (reset | (stall_DX & ~stall_WB)) begin
+            // Pipeline bubble
+            wb_valid      <= 1'b0;
+            PC_WB         <= 32'b0;
+            dmem_type_WB  <= 2'b0;
+            store_data_WB <= 32'b0;
+            load_dest_WB  <= 5'b0;
+            wb_is_halt    <= 1'b0;
+        end else if (~stall_WB) begin
+            wb_valid      <= dx_valid;
+            PC_WB         <= dx_valid ? PC_DX : 32'b0;
+            dmem_type_WB  <= is_load ? 2'd1 : (is_store ? 2'd2 : 2'd0);
+            store_data_WB <= is_store ? regs[rs2] : 32'b0;
+            load_dest_WB  <= is_load ? rd : 5'b0;
+            wb_is_halt    <= is_halt;
+        end
+    end
+
+    // register-file writeback and halt latch
+    always @(posedge clk) begin
+        if (!reset && wb_valid) begin
+            if (dmem_type_WB == 2'd1 && load_dest_WB != 5'b0)
+                regs[load_dest_WB] <= load_data_WB;
+            if (wb_is_halt)
+                halted <= 1'b1;
+        end
+        if (reset) halted <= 1'b0;
+    end
+
+    // IF -> DX
+    always @(posedge clk) begin
+        if (reset) begin
+            PC_IF      <= BASE_PC;
+            fetch_stop <= 1'b0;
+            dx_valid   <= 1'b0;
+            instr_DX   <= 32'b0;
+            PC_DX      <= 32'b0;
+        end else if (~stall_DX) begin
+            if (is_halt)
+                fetch_stop <= 1'b1;
+            if (fetch_stop || is_halt) begin
+                dx_valid <= 1'b0;
+                instr_DX <= 32'b0;
+                PC_DX    <= 32'b0;
+            end else begin
+                dx_valid <= 1'b1;
+                instr_DX <= imem_rdata;
+                PC_DX    <= PC_IF;
+                PC_IF    <= PC_IF + 32'd4;
+            end
+        end
+    end
+endmodule
+"""
+
+_ARBITER_MODULE = r"""
+// The arbiter: one core may access data memory per cycle; the owner is
+// dictated by the free top-level input arb_select (paper 5.2), so a
+// property verifier explores every switching pattern.
+module arbiter (
+    input  wire       clk,
+    input  wire       reset,
+    input  wire [1:0] arb_select,
+    output reg  [1:0] cur_core,
+    output reg  [1:0] prev_core
+);
+    always @(posedge clk) begin
+        if (reset) begin
+            cur_core  <= 2'd0;
+            prev_core <= 2'd0;
+        end else begin
+            prev_core <= cur_core;
+            cur_core  <= arb_select;
+        end
+    end
+endmodule
+"""
+
+_MEMORY_BUGGY = r"""
+// The shipped V-scale memory: pipelined, with the wdata single-entry
+// store buffer.  ready is hard-coded high; when a new store initiates a
+// transaction, the buffered slot is pushed to the array using wdata's
+// CURRENT value -- one cycle too early if the buffered store's data
+// phase is only happening now.  That drops back-to-back stores (7.1).
+module vscale_memory_buggy #(
+    parameter WORDS = 48
+) (
+    input  wire        clk,
+    input  wire        reset,
+    // address phase
+    input  wire        en,
+    input  wire        wen,
+    input  wire [31:0] addr,
+    input  wire [1:0]  req_core,
+    // data phase (cycle after the address phase)
+    input  wire [31:0] store_data,
+    output wire [31:0] load_data,
+    output wire        load_valid,
+    output wire [1:0]  data_core,
+    output wire        ready
+);
+    reg [31:0] mem [0:WORDS-1];
+    reg        pend_valid, pend_wen;
+    reg [31:0] pend_addr;
+    reg [1:0]  pend_core;
+    reg        wvalid;
+    reg [31:0] waddr;
+    reg [31:0] wdata;
+
+    assign ready = 1'b1;  // the lie that hides the bug
+    wire [31:0] pend_word = pend_addr[31:2];
+    assign load_valid = pend_valid && !pend_wen;
+    assign data_core  = pend_core;
+    // bypass from the store buffer
+    assign load_data = (wvalid && waddr == pend_word) ? wdata
+                                                      : mem[pend_word];
+
+    always @(posedge clk) begin
+        if (reset) begin
+            pend_valid <= 1'b0;
+            wvalid     <= 1'b0;
+            waddr      <= 32'b0;
+            wdata      <= 32'b0;
+        end else begin
+            if (en && wen) begin
+                if (wvalid)
+                    mem[waddr] <= wdata;   // BUG: wdata may be stale
+                waddr  <= addr[31:2];
+                wvalid <= 1'b1;
+            end
+            if (pend_valid && pend_wen)
+                wdata <= store_data;       // the data phase lands here
+            pend_valid <= en;
+            pend_wen   <= wen;
+            pend_addr  <= addr;
+            pend_core  <= req_core;
+        end
+    end
+endmodule
+"""
+
+_MEMORY_FIXED = r"""
+// The corrected memory: the intermediate wdata register is eliminated;
+// a store's data is clocked directly into the array one cycle after its
+// WB stage, where the next cycle's loads can read it (7.1).
+module vscale_memory_fixed #(
+    parameter WORDS = 48
+) (
+    input  wire        clk,
+    input  wire        reset,
+    input  wire        en,
+    input  wire        wen,
+    input  wire [31:0] addr,
+    input  wire [1:0]  req_core,
+    input  wire [31:0] store_data,
+    output wire [31:0] load_data,
+    output wire        load_valid,
+    output wire [1:0]  data_core,
+    output wire        ready
+);
+    reg [31:0] mem [0:WORDS-1];
+    reg        pend_valid, pend_wen;
+    reg [31:0] pend_addr;
+    reg [1:0]  pend_core;
+
+    assign ready = 1'b1;
+    wire [31:0] pend_word = pend_addr[31:2];
+    assign load_valid = pend_valid && !pend_wen;
+    assign data_core  = pend_core;
+    assign load_data  = mem[pend_word];
+
+    always @(posedge clk) begin
+        if (reset) begin
+            pend_valid <= 1'b0;
+        end else begin
+            if (pend_valid && pend_wen)
+                mem[pend_word] <= store_data;
+            pend_valid <= en;
+            pend_wen   <= wen;
+            pend_addr  <= addr;
+            pend_core  <= req_core;
+        end
+    end
+endmodule
+"""
+
+
+def _imem_initial_block(compiled: CompiledTest) -> List[str]:
+    lines = ["    // litmus program (same words the Figure 8 assumptions pin)"]
+    for core, program in enumerate(compiled.programs):
+        base = imem_base_word(core)
+        for offset, instr in enumerate(program):
+            word = encode(instr)
+            lines.append(
+                f"    imem[{base + offset}] = 32'h{word:08x};  // core {core}: {instr}"
+            )
+    return lines
+
+
+def _reg_initial_block(compiled: CompiledTest) -> List[str]:
+    lines = ["    // address/data registers (Figure 8 register-init assumptions)"]
+    for core, regs in enumerate(compiled.reg_init):
+        for reg, value in sorted(regs.items()):
+            lines.append(f"    core_gen[{core}].core.regs[{reg}] = 32'd{value};")
+    return lines
+
+
+def _dmem_initial_block(compiled: CompiledTest) -> List[str]:
+    lines = ["    // litmus variables (initial data memory)"]
+    for var, word in sorted(compiled.address_map.items(), key=lambda kv: kv[1]):
+        value = compiled.test.initial_memory_map[var]
+        lines.append(f"    mem.mem[{word}] = 32'd{value};  // {var}")
+    return lines
+
+
+def emit_top_module(compiled: CompiledTest, memory_variant: str = "fixed") -> str:
+    """The ``multi_vscale`` top level, parameterized for one test."""
+    memory_module = (
+        "vscale_memory_buggy" if memory_variant == "buggy" else "vscale_memory_fixed"
+    )
+    base_pcs = ", ".join(
+        f"32'd{core_base_pc(core)}" for core in range(NUM_CORES)
+    )
+    lines = [
+        "// Multi-V-scale: four V-scale cores behind a memory arbiter",
+        "// (paper Figure 1), programmed with litmus test "
+        f"{compiled.test.name}.",
+        "module multi_vscale (",
+        "    input  wire       clk,",
+        "    input  wire       reset,",
+        "    input  wire [1:0] arb_select   // free input: next cycle's owner",
+        ");",
+        f"    localparam [32*{NUM_CORES}-1:0] BASE_PCS = {{{base_pcs}}};",
+        "",
+        "    // read-only instruction memory, concurrently accessed by all",
+        "    // cores (paper section 2.1)",
+        f"    reg [31:0] imem [0:{NUM_CORES * IMEM_WORDS_PER_CORE}];",
+        "",
+        "    wire [1:0] cur_core, prev_core;",
+        "    arbiter arb (.clk(clk), .reset(reset), .arb_select(arb_select),",
+        "                 .cur_core(cur_core), .prev_core(prev_core));",
+        "",
+        f"    wire        dmem_en   [0:{NUM_CORES - 1}];",
+        f"    wire        dmem_wen  [0:{NUM_CORES - 1}];",
+        f"    wire [31:0] dmem_addr [0:{NUM_CORES - 1}];",
+        f"    wire [31:0] store_wb  [0:{NUM_CORES - 1}];",
+        f"    wire [31:0] imem_addr [0:{NUM_CORES - 1}];",
+        "",
+        "    wire [31:0] load_data;",
+        "    wire        load_valid;",
+        "    wire [1:0]  data_core;",
+        "",
+        "    genvar g;",
+        "    generate",
+        f"    for (g = 0; g < {NUM_CORES}; g = g + 1) begin : core_gen",
+        "        vscale_core #(.BASE_PC(BASE_PCS[32*g +: 32])) core (",
+        "            .clk(clk), .reset(reset),",
+        "            .imem_addr(imem_addr[g]),",
+        "            .imem_rdata(imem[imem_addr[g][31:2]]),",
+        "            .dmem_en(dmem_en[g]), .dmem_wen(dmem_wen[g]),",
+        "            .dmem_addr(dmem_addr[g]),",
+        "            .granted(cur_core == g[1:0]),",
+        "            .store_data_WB_out(store_wb[g]),",
+        "            .load_data(load_data),",
+        "            .load_valid(load_valid && data_core == g[1:0]),",
+        "            .halted_out()",
+        "        );",
+        "    end",
+        "    endgenerate",
+        "",
+        f"    {memory_module} #(.WORDS({DATA_MEM_WORDS})) mem (",
+        "        .clk(clk), .reset(reset),",
+        "        .en(dmem_en[cur_core]), .wen(dmem_wen[cur_core]),",
+        "        .addr(dmem_addr[cur_core]), .req_core(cur_core),",
+        "        .store_data(store_wb[data_core]),",
+        "        .load_data(load_data), .load_valid(load_valid),",
+        "        .data_core(data_core), .ready()",
+        "    );",
+        "",
+        "    initial begin",
+    ]
+    lines += _imem_initial_block(compiled)
+    lines += _dmem_initial_block(compiled)
+    lines += _reg_initial_block(compiled)
+    lines += [
+        "    end",
+        "endmodule",
+    ]
+    return "\n".join(lines)
+
+
+def emit_design(compiled: CompiledTest, memory_variant: str = "fixed") -> str:
+    """The full design: core + arbiter + memory + top, as Verilog text."""
+    memory = _MEMORY_BUGGY if memory_variant == "buggy" else _MEMORY_FIXED
+    header = (
+        "// Multi-V-scale Verilog emission (RTLCheck reproduction).\n"
+        "// Structurally equivalent to the Python model in repro.vscale —\n"
+        "// same pipeline registers, hierarchical names, and memory\n"
+        f"// semantics ({memory_variant} variant).\n"
+    )
+    return "\n".join(
+        [
+            header,
+            _CORE_MODULE.strip(),
+            "",
+            _ARBITER_MODULE.strip(),
+            "",
+            memory.strip(),
+            "",
+            emit_top_module(compiled, memory_variant),
+            "",
+        ]
+    )
+
+
+def emit_verification_bundle(
+    compiled: CompiledTest,
+    sva_text: str,
+    memory_variant: str = "fixed",
+) -> str:
+    """Design plus generated properties: the complete per-test artifact
+    the paper's flow hands to JasperGold (§6)."""
+    return "\n".join(
+        [
+            emit_design(compiled, memory_variant),
+            "// " + "-" * 68,
+            "// Generated properties (concatenated into the top level, §6)",
+            "// " + "-" * 68,
+            sva_text,
+        ]
+    )

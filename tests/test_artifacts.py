@@ -1,0 +1,207 @@
+"""Tests for artifact emission: µspec linting, VCD dumps, Verilog."""
+
+import pytest
+
+from repro import RTLCheck, get_test
+from repro.litmus import compile_test
+from repro.rtl import Simulator, render_vcd, write_vcd
+from repro.uspec import lint_model, lint_source, load_model, parse_uspec
+from repro.uspec.lint import ERROR, WARNING
+from repro.vscale import (
+    MultiVScale,
+    emit_design,
+    emit_top_module,
+    emit_verification_bundle,
+)
+
+
+class TestLinter:
+    def test_bundled_models_are_synthesizable(self):
+        for name in ("multi_vscale", "multi_vscale_tso"):
+            report = lint_model(load_model(name))
+            assert report.synthesizable, report.render()
+
+    def test_final_state_dependence_warned(self):
+        report = lint_model(load_model("multi_vscale"))
+        assert any(f.rule == "final-state-dependence" for f in report.warnings)
+        assert any(f.axiom == "Write_Final_Value" for f in report.warnings)
+
+    def test_unknown_stage_flagged(self):
+        report = lint_source(
+            'Stages "WB".\nAxiom "A": forall microop "i", NodeExists (i, Retire).'
+        )
+        assert not report.synthesizable
+        assert any(f.rule == "unknown-stage" for f in report.errors)
+
+    def test_unknown_predicate_flagged(self):
+        report = lint_source('Stages "WB".\nAxiom "A": forall microop "i", Bogus i.')
+        assert any(f.rule == "unknown-predicate" for f in report.errors)
+
+    def test_predicate_arity_flagged(self):
+        report = lint_source(
+            'Stages "WB".\nAxiom "A": forall microop "i", SameData i.'
+        )
+        assert any(f.rule == "predicate-arity" for f in report.errors)
+
+    def test_negated_same_data_flagged(self):
+        report = lint_source(
+            'Stages "WB".\n'
+            'Axiom "A": forall microops "a", "b", ~SameData a b.'
+        )
+        assert any(f.rule == "negated-non-edge" for f in report.errors)
+
+    def test_double_negation_is_fine(self):
+        # An implication negates its premise, so ~SameData in a premise
+        # ends up positive.
+        report = lint_source(
+            'Stages "WB".\n'
+            'Axiom "A": forall microops "a", "b", '
+            "(~SameData a b) => AddEdge ((a, WB), (b, WB))."
+        )
+        assert report.synthesizable
+
+    def test_negated_node_exists_flagged(self):
+        report = lint_source(
+            'Stages "WB".\nAxiom "A": forall microop "i", ~NodeExists (i, WB).'
+        )
+        assert any(f.rule == "negated-non-edge" for f in report.errors)
+
+    def test_negated_edge_is_fine(self):
+        report = lint_source(
+            'Stages "WB".\n'
+            'Axiom "A": forall microops "a", "b", '
+            "~EdgeExists ((a, WB), (b, WB)) \\/ AddEdge ((b, WB), (a, WB))."
+        )
+        assert report.synthesizable
+
+    def test_undefined_macro_flagged(self):
+        report = lint_source('Stages "WB".\nAxiom "A": ExpandMacro Nope.')
+        assert any(f.rule == "undefined-macro" for f in report.errors)
+
+    def test_macro_recursion_flagged(self):
+        report = lint_source(
+            'Stages "WB".\n'
+            'DefineMacro "Loop": ExpandMacro Loop.\n'
+            'Axiom "A": ExpandMacro Loop.'
+        )
+        assert any(f.rule == "macro-recursion" for f in report.errors)
+
+    def test_macro_arity_flagged(self):
+        report = lint_source(
+            'Stages "WB".\n'
+            'DefineMacro "M" "x": IsAnyRead x.\n'
+            'Axiom "A": forall microop "i", ExpandMacro M i i.'
+        )
+        assert any(f.rule == "macro-arity" for f in report.errors)
+
+    def test_render_mentions_rules(self):
+        report = lint_source('Stages "WB".\nAxiom "A": ExpandMacro Nope.')
+        assert "undefined-macro" in report.render()
+
+    def test_clean_model_renders_ok(self):
+        report = lint_source('Stages "WB".\nAxiom "A": True.')
+        assert "synthesizable" in report.render()
+
+
+@pytest.fixture(scope="module")
+def mp_trace():
+    compiled = compile_test(get_test("mp"))
+    soc = MultiVScale(compiled, "fixed")
+    sim = Simulator(soc)
+    for _ in range(12):
+        sim.step({"arb_select": 0})
+    return sim.trace
+
+
+class TestVcd:
+    def test_header_and_definitions(self, mp_trace):
+        text = render_vcd(mp_trace)
+        assert "$timescale 1ns $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$scope module core[1] $end" in text
+        assert "PC_WB" in text
+
+    def test_only_changes_dumped(self, mp_trace):
+        text = render_vcd(mp_trace, signals=["core[0].halted"])
+        # halted flips once: initial #0 dump plus one change.
+        change_lines = [l for l in text.splitlines() if l.startswith(("0", "1", "b"))]
+        assert 1 <= len(change_lines) <= 3
+
+    def test_signal_selection(self, mp_trace):
+        text = render_vcd(mp_trace, signals=["first"])
+        assert "PC_WB" not in text
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            render_vcd([])
+
+    def test_write_vcd(self, mp_trace, tmp_path):
+        path = tmp_path / "mp.vcd"
+        write_vcd(str(path), mp_trace)
+        assert path.read_text().startswith("$date")
+
+    def test_identifiers_unique(self, mp_trace):
+        from repro.rtl.vcd import _identifier
+
+        idents = {_identifier(i) for i in range(500)}
+        assert len(idents) == 500
+
+
+class TestVerilogEmission:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return compile_test(get_test("mp"))
+
+    def test_design_contains_all_modules(self, compiled):
+        text = emit_design(compiled, "fixed")
+        for module in ("vscale_core", "arbiter", "vscale_memory_fixed", "multi_vscale"):
+            assert f"module {module}" in text
+
+    def test_buggy_variant_has_wdata_buffer(self, compiled):
+        text = emit_design(compiled, "buggy")
+        assert "vscale_memory_buggy" in text
+        assert "wdata" in text
+        assert "BUG: wdata may be stale" in text
+        assert "vscale_memory_fixed" not in text
+
+    def test_fixed_variant_has_no_wdata_register(self, compiled):
+        text = emit_design(compiled, "fixed")
+        assert "reg [31:0] wdata;" not in text
+        assert "vscale_memory_buggy" not in text
+
+    def test_figure3c_wb_update_shape(self, compiled):
+        """The emitted WB update mirrors Figure 3c: bubble on
+        (reset | stall_DX & ~stall_WB), update on ~stall_WB."""
+        text = emit_design(compiled, "fixed")
+        assert "if (reset | (stall_DX & ~stall_WB)) begin" in text
+        assert "end else if (~stall_WB) begin" in text
+
+    def test_top_module_initializes_litmus_program(self, compiled):
+        from repro.isa import encode
+
+        text = emit_top_module(compiled)
+        first_instr = encode(compiled.programs[0][0])
+        assert f"32'h{first_instr:08x}" in text
+        # Data and register initialization too.
+        assert f"mem.mem[{compiled.address_map['x']}] = 32'd0;" in text
+        assert "core_gen[0].core.regs[1]" in text
+
+    def test_ready_hardcoded_high_in_both_variants(self, compiled):
+        for variant in ("buggy", "fixed"):
+            assert "assign ready = 1'b1;" in emit_design(compiled, variant)
+
+    def test_bundle_concatenates_properties(self, compiled):
+        rtlcheck = RTLCheck()
+        generated = rtlcheck.generate(get_test("mp"))
+        bundle = emit_verification_bundle(compiled, generated.sva_text)
+        assert "module multi_vscale" in bundle
+        assert bundle.count("assert property") == len(generated.assertions)
+        assert bundle.index("module multi_vscale") < bundle.index("assert property")
+
+    def test_balanced_module_endmodule(self, compiled):
+        import re
+
+        text = emit_design(compiled, "buggy")
+        opens = len(re.findall(r"^module ", text, flags=re.MULTILINE))
+        closes = text.count("endmodule")
+        assert opens == closes == 4

@@ -1,0 +1,68 @@
+"""Tests for atomic_mach (paper Figure 4): axiomatic vs temporal."""
+
+import pytest
+
+from repro.atomic import verify_axiomatic, verify_temporal
+from repro.litmus import get_test, paper_suite
+from repro.memodel import sc_allowed
+
+
+class TestAxiomaticVerifier:
+    def test_mp_unobservable(self):
+        verdict = verify_axiomatic(get_test("mp"))
+        assert not verdict.observable
+        assert verdict.witnesses == 0
+        # All candidate executions were struck out one way or the other.
+        assert (
+            verdict.excluded_by_outcome + verdict.excluded_by_axiom
+            == verdict.executions_total
+        )
+
+    def test_mp_candidate_execution_count(self):
+        """mp has 2 loads x 2 rf choices each = 4 candidate executions
+        (no coherence choice: one store per location) — the four
+        executions of Figure 4a."""
+        verdict = verify_axiomatic(get_test("mp"))
+        assert verdict.executions_total == 4
+
+    def test_allowed_outcome_has_witness(self):
+        verdict = verify_axiomatic(get_test("iwp24"))
+        assert verdict.observable
+        assert verdict.witnesses >= 1
+
+
+class TestTemporalVerifier:
+    def test_mp_unobservable(self):
+        verdict = verify_temporal(get_test("mp"))
+        assert not verdict.observable
+
+    def test_assumption_prunes_only_when_event_occurs(self):
+        """§3.1's key point: pruning happens at the offending load's own
+        step, so partial executions that can no longer satisfy the
+        outcome are still explored up to that point."""
+        verdict = verify_temporal(get_test("mp"))
+        assert verdict.partial_executions_pruned > 0
+        assert verdict.steps_explored > verdict.partial_executions_pruned
+
+    def test_allowed_outcome_has_witness(self):
+        verdict = verify_temporal(get_test("iwp24"))
+        assert verdict.observable
+        assert verdict.full_executions >= 1
+
+
+class TestAgreement:
+    @pytest.mark.parametrize(
+        "name", ["mp", "sb", "lb", "iriw", "co-mp", "iwp24", "n5", "wrc", "ssl"]
+    )
+    def test_both_verifiers_agree_with_oracle(self, name):
+        test = get_test(name)
+        expected = sc_allowed(test)
+        assert verify_axiomatic(test).observable == expected
+        assert verify_temporal(test).observable == expected
+
+    @pytest.mark.slow
+    def test_agreement_on_full_suite(self):
+        for test in paper_suite():
+            expected = sc_allowed(test)
+            assert verify_axiomatic(test).observable == expected, test.name
+            assert verify_temporal(test).observable == expected, test.name

@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify", "mp"])
+        assert args.memory == "fixed"
+        assert args.config == "Full_Proof"
+        assert not args.no_cover_shortcut
+
+    def test_unknown_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "mp", "--memory", "flaky"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mp" in out and "forbidden" in out
+        assert len(out.strip().splitlines()) == 57  # header + 56 tests
+
+    def test_show(self, capsys):
+        assert main(["show", "mp"]) == 0
+        out = capsys.readouterr().out
+        assert "(i1) [x] <- 1" in out
+        assert "core 0:" in out
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["generate", "sb"]) == 0
+        out = capsys.readouterr().out
+        assert "assert property" in out
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        target = tmp_path / "mp.sv"
+        assert main(["generate", "mp", "-o", str(target)]) == 0
+        assert "assume property" in target.read_text()
+
+    def test_verify_fixed_exits_zero(self, capsys):
+        assert main(["verify", "mp"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_verify_buggy_exits_nonzero(self, capsys):
+        assert main(["verify", "mp", "--memory", "buggy"]) == 1
+        assert "COUNTEREXAMPLE" in capsys.readouterr().out
+
+    def test_verify_hybrid_config(self, capsys):
+        assert main(["verify", "lb", "--config", "Hybrid"]) == 0
+
+    def test_microarch(self, capsys):
+        assert main(["microarch", "sb"]) == 0
+        assert "unobservable" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Unit tests for engine-model internals and solver corner cases."""
+
+import pytest
+
+from repro.uspec import GroundEdge
+from repro.uspec.ast import Or
+from repro.uhb.solver import UhbSolver
+from repro.verifier.engines import _depth_within
+from repro.verifier.explorer import ExplorationResult, PROVEN
+
+A, B, C = (1, "WB"), (2, "WB"), (3, "WB")
+
+
+def add(src, dst):
+    return GroundEdge(kind="add", src=src, dst=dst)
+
+
+class TestDepthWithin:
+    def _result(self, layers):
+        result = ExplorationResult(verdict=PROVEN)
+        result.layer_transitions = list(layers)
+        result.transitions = sum(layers)
+        result.depth_completed = len(layers)
+        return result
+
+    def test_full_budget_reaches_full_depth(self):
+        result = self._result([10, 10, 10])
+        assert _depth_within(result, 30) == 3
+
+    def test_partial_budget_cuts_layers(self):
+        result = self._result([10, 10, 10])
+        assert _depth_within(result, 25) == 2
+        assert _depth_within(result, 9) == 1  # floor of one layer
+
+    def test_no_profile_falls_back_proportionally(self):
+        result = ExplorationResult(verdict=PROVEN)
+        result.transitions = 100
+        result.depth_completed = 10
+        assert _depth_within(result, 50) == 5
+
+    def test_zero_budget_still_reports_one(self):
+        result = self._result([10])
+        assert _depth_within(result, 0) == 1
+
+
+class TestSolverCornerCases:
+    def test_stop_on_cyclic(self):
+        solver = UhbSolver({"a": add(A, B), "b": add(B, A)})
+        result = solver.solve(prune_cycles=False, stop_on_cyclic=True)
+        assert result.cyclic_witness is not None
+        assert not result.cyclic_witness.is_acyclic()
+
+    def test_find_cyclic_witness_none_when_acyclic_only(self):
+        solver = UhbSolver({"a": add(A, B)})
+        # Only one satisfying graph exists and it is acyclic.
+        assert solver.find_cyclic_witness() is None
+
+    def test_duplicate_edges_across_axioms(self):
+        solver = UhbSolver({"a": add(A, B), "b": add(A, B)})
+        result = solver.solve(find_all=True)
+        assert result.observable
+        assert result.acyclic_graphs == 1
+
+    def test_find_all_counts_every_order(self):
+        solver = UhbSolver(
+            {
+                "o1": Or((add(A, B), add(B, A))),
+                "o2": Or((add(B, C), add(C, B))),
+            }
+        )
+        result = solver.solve(find_all=True)
+        # 4 combinations, all acyclic (no chain closes a cycle).
+        assert result.acyclic_graphs == 4
+
+    def test_prune_cycles_false_still_finds_acyclic(self):
+        solver = UhbSolver({"o": Or((add(A, B), add(B, A)))})
+        result = solver.solve(prune_cycles=False, find_all=True)
+        assert result.acyclic_graphs == 2

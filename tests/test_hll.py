@@ -1,0 +1,193 @@
+"""Tests for the full-stack HLL (C11) layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LitmusError
+from repro.hll import (
+    ACQUIRE,
+    RELAXED,
+    RELEASE,
+    SC_MAPPING,
+    SEQ_CST,
+    TSO_MAPPING,
+    TSO_MAPPING_BROKEN,
+    HllLitmusTest,
+    atomic_load,
+    atomic_store,
+    c11_allowed,
+    c11_corr,
+    c11_forbidden,
+    c11_mp,
+    c11_sb,
+    check_full_stack,
+    compile_hll,
+)
+from repro.litmus.test import LitmusTest, Outcome
+from repro.memodel import sc_allowed
+
+
+class TestProgramConstruction:
+    def test_load_orders_validated(self):
+        with pytest.raises(LitmusError):
+            atomic_load("x", "r1", RELEASE)
+
+    def test_store_orders_validated(self):
+        with pytest.raises(LitmusError):
+            atomic_store("x", 1, ACQUIRE)
+
+    def test_outcome_register_must_exist(self):
+        with pytest.raises(LitmusError):
+            HllLitmusTest.of("t", [[atomic_store("x", 1)]], {"r9": 1})
+
+    def test_acquire_release_flags(self):
+        assert atomic_store("x", 1, SEQ_CST).is_release
+        assert atomic_load("x", "r", SEQ_CST).is_acquire
+        assert not atomic_store("x", 1, RELAXED).is_release
+
+    def test_pretty(self):
+        text = c11_mp().pretty()
+        assert "x.store(1, seq_cst)" in text
+        assert "r1 = y.load(seq_cst)" in text
+
+    def test_with_order_rewrites(self):
+        relaxed = c11_mp().with_order(RELAXED)
+        assert all(
+            op.order == RELAXED for t in relaxed.threads for op in t
+        )
+
+
+class TestC11Oracle:
+    def test_mp_seq_cst_forbidden(self):
+        assert c11_forbidden(c11_mp())
+
+    def test_mp_release_acquire_forbidden(self):
+        assert c11_forbidden(c11_mp(RELEASE, ACQUIRE))
+
+    def test_mp_relaxed_allowed(self):
+        """Without synchronization there is no happens-before across
+        threads: the stale read is allowed."""
+        assert c11_allowed(c11_mp(RELAXED, RELAXED))
+
+    def test_mp_release_relaxed_allowed(self):
+        # A release store synchronizes only with an *acquire* load.
+        assert c11_allowed(c11_mp(RELEASE, RELAXED))
+
+    def test_sb_needs_seq_cst(self):
+        assert c11_forbidden(c11_sb(SEQ_CST))
+        assert c11_allowed(c11_sb(RELEASE))
+        assert c11_allowed(c11_sb(RELAXED))
+
+    def test_coherence_holds_even_relaxed(self):
+        assert c11_forbidden(c11_corr(RELAXED))
+        assert c11_forbidden(c11_corr(SEQ_CST))
+
+    def test_read_own_thread_write(self):
+        test = HllLitmusTest.of(
+            "own",
+            [[atomic_store("x", 1, RELAXED), atomic_load("x", "r1", RELAXED)]],
+            {"r1": 0},
+        )
+        assert c11_forbidden(test)  # CoWR via sequenced-before
+
+
+def _to_sc_litmus(hll: HllLitmusTest) -> LitmusTest:
+    return compile_hll(hll, SC_MAPPING)
+
+
+@st.composite
+def small_seq_cst_tests(draw):
+    num_threads = draw(st.integers(min_value=1, max_value=3))
+    reg = 0
+    threads = []
+    outs = []
+    for _t in range(num_threads):
+        ops = []
+        for _i in range(draw(st.integers(min_value=1, max_value=2))):
+            var = draw(st.sampled_from(("x", "y")))
+            if draw(st.booleans()):
+                ops.append(atomic_store(var, draw(st.integers(1, 2)), SEQ_CST))
+            else:
+                reg += 1
+                ops.append(atomic_load(var, f"r{reg}", SEQ_CST))
+                outs.append(f"r{reg}")
+        threads.append(ops)
+    outcome = {name: draw(st.integers(0, 2)) for name in outs}
+    return HllLitmusTest.of("rand-sc", threads, outcome)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_seq_cst_tests())
+def test_all_seq_cst_c11_equals_sc(hll):
+    """For all-seq_cst programs the simplified C11 model must coincide
+    with sequential consistency (checked against the independent SC
+    oracle through the trivial SC mapping)."""
+    assert c11_allowed(hll) == sc_allowed(_to_sc_litmus(hll))
+
+
+class TestCompile:
+    def test_sc_mapping_is_plain(self):
+        isa = compile_hll(c11_mp(), SC_MAPPING)
+        kinds = [op.kind for t in isa.threads for op in t]
+        assert "F" not in kinds
+
+    def test_tso_mapping_adds_trailing_fences(self):
+        isa = compile_hll(c11_sb(), TSO_MAPPING)
+        # Each seq_cst store is followed by a fence.
+        for thread in isa.threads:
+            assert thread[0].is_store
+            assert thread[1].is_fence
+
+    def test_tso_mapping_leaves_relaxed_plain(self):
+        isa = compile_hll(c11_sb(RELAXED), TSO_MAPPING)
+        assert all(not op.is_fence for t in isa.threads for op in t)
+
+    def test_broken_mapping_drops_fences(self):
+        isa = compile_hll(c11_sb(), TSO_MAPPING_BROKEN)
+        assert all(not op.is_fence for t in isa.threads for op in t)
+
+    def test_outcome_carries_over(self):
+        isa = compile_hll(c11_mp(), TSO_MAPPING)
+        assert isa.outcome.register_map == {"r1": 1, "r2": 0}
+
+
+class TestFullStack:
+    def test_correct_tso_mapping_is_sound(self):
+        result = check_full_stack(c11_sb(), TSO_MAPPING, "tso")
+        assert not result.hll_allowed
+        assert not result.rtl_reachable
+        assert result.stack_sound
+        assert result.design_keeps_its_contract
+        assert not result.mapping_bug
+
+    def test_broken_tso_mapping_caught(self):
+        """The miniature TriCheck result: the hardware verifies against
+        its own axioms, yet the compiled Dekker exhibits an outcome the
+        source forbids — a compiler-mapping bug."""
+        result = check_full_stack(c11_sb(), TSO_MAPPING_BROKEN, "tso")
+        assert not result.hll_allowed
+        assert result.rtl_reachable
+        assert result.design_keeps_its_contract
+        assert result.mapping_bug
+        assert "COMPILER MAPPING BUG" in result.summary()
+
+    def test_sc_platform_needs_no_fences(self):
+        result = check_full_stack(c11_sb(), SC_MAPPING, "sc")
+        assert result.stack_sound and not result.mapping_bug
+
+    def test_relaxed_source_is_sound_even_unfenced(self):
+        # The source allows the outcome, so reachability is fine.
+        result = check_full_stack(c11_sb(RELAXED), TSO_MAPPING_BROKEN, "tso")
+        assert result.hll_allowed
+        assert result.stack_sound
+
+    def test_mp_release_acquire_on_tso(self):
+        # TSO provides acquire/release for free: plain mapping suffices.
+        result = check_full_stack(c11_mp(RELEASE, ACQUIRE), TSO_MAPPING, "tso")
+        assert not result.hll_allowed
+        assert result.stack_sound
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            check_full_stack(c11_mp(), SC_MAPPING, "arm")

@@ -1,0 +1,117 @@
+"""Unit and property tests for the RV32I subset encoder/decoder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import Addi, Fence, Halt, Lui, Lw, Nop, Sw, decode, encode
+from repro.isa.encoding import (
+    OPCODE_HALT,
+    OPCODE_LOAD,
+    OPCODE_STORE,
+)
+
+
+class TestEncodeKnownValues:
+    def test_store_matches_paper_figure8_encoding(self):
+        # Figure 8 initializes core 0's first instruction to
+        # {7'b0, 5'd2, 5'd1, 3'd2, 5'b0, RV32_STORE}: sw x2, 0(x1).
+        word = encode(Sw(rs1=1, rs2=2, imm=0))
+        expected = (0 << 25) | (2 << 20) | (1 << 15) | (2 << 12) | (0 << 7) | OPCODE_STORE
+        assert word == expected
+
+    def test_load_opcode_field(self):
+        word = encode(Lw(rd=3, rs1=1, imm=0))
+        assert word & 0x7F == OPCODE_LOAD
+        assert (word >> 7) & 0x1F == 3
+        assert (word >> 15) & 0x1F == 1
+
+    def test_halt_uses_custom0_opcode(self):
+        assert encode(Halt()) == OPCODE_HALT
+
+    def test_nop_is_addi_x0_x0_0(self):
+        assert encode(Nop()) == encode(Addi(rd=0, rs1=0, imm=0))
+
+    def test_store_negative_offset(self):
+        word = encode(Sw(rs1=5, rs2=6, imm=-4))
+        decoded = decode(word)
+        assert decoded == Sw(rs1=5, rs2=6, imm=-4)
+
+    def test_load_negative_offset_sign_extends(self):
+        word = encode(Lw(rd=7, rs1=2, imm=-2048))
+        assert decode(word) == Lw(rd=7, rs1=2, imm=-2048)
+
+
+class TestDecodeErrors:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(0x7F)  # not a supported opcode
+
+    def test_word_out_of_range(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+        with pytest.raises(EncodingError):
+            decode(-1)
+
+    def test_unsupported_load_width(self):
+        # funct3=0 (lb) is outside the subset.
+        word = (1 << 15) | (0 << 12) | (2 << 7) | OPCODE_LOAD
+        with pytest.raises(EncodingError):
+            decode(word)
+
+    def test_unsupported_store_width(self):
+        word = (1 << 15) | (1 << 12) | OPCODE_STORE  # sh
+        with pytest.raises(EncodingError):
+            decode(word)
+
+
+class TestConstructorValidation:
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            Lw(rd=32, rs1=0)
+        with pytest.raises(ValueError):
+            Sw(rs1=-1, rs2=0)
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(ValueError):
+            Addi(rd=1, rs1=0, imm=2048)
+        with pytest.raises(ValueError):
+            Lw(rd=1, rs1=0, imm=-2049)
+
+    def test_lui_immediate_range(self):
+        with pytest.raises(ValueError):
+            Lui(rd=1, imm20=1 << 20)
+
+
+@st.composite
+def instructions(draw):
+    kind = draw(st.sampled_from(["lw", "sw", "addi", "lui", "fence", "halt"]))
+    reg = st.integers(min_value=0, max_value=31)
+    imm = st.integers(min_value=-2048, max_value=2047)
+    if kind == "lw":
+        return Lw(rd=draw(reg), rs1=draw(reg), imm=draw(imm))
+    if kind == "sw":
+        return Sw(rs1=draw(reg), rs2=draw(reg), imm=draw(imm))
+    if kind == "addi":
+        instr = Addi(rd=draw(reg), rs1=draw(reg), imm=draw(imm))
+        # addi x0,x0,0 canonically decodes as Nop.
+        return Nop() if instr == Addi(rd=0, rs1=0, imm=0) else instr
+    if kind == "lui":
+        return Lui(rd=draw(reg), imm20=draw(st.integers(min_value=0, max_value=(1 << 20) - 1)))
+    if kind == "fence":
+        return Fence()
+    return Halt()
+
+
+class TestRoundTrip:
+    @given(instructions())
+    def test_encode_decode_roundtrip(self, instr):
+        word = encode(instr)
+        assert 0 <= word < (1 << 32)
+        assert decode(word) == instr
+
+    @given(instructions(), instructions())
+    def test_distinct_instructions_encode_distinctly(self, a, b):
+        if a != b:
+            assert encode(a) != encode(b)

@@ -1,0 +1,231 @@
+"""Tests for litmus representation, compilation, and the text format."""
+
+import pytest
+
+from repro.errors import LitmusError
+from repro.isa import Halt, Lw, Sw
+from repro.litmus import (
+    LitmusTest,
+    Outcome,
+    compile_test,
+    fence,
+    format_litmus,
+    load,
+    parse_litmus,
+    parse_suite,
+    store,
+)
+from repro.litmus.test import DATA_BASE_WORD
+
+
+def mp_test():
+    return LitmusTest.of(
+        "mp",
+        [[store("x", 1), store("y", 1)], [load("y", "r1"), load("x", "r2")]],
+        Outcome.of({"r1": 1, "r2": 0}),
+    )
+
+
+class TestMemOp:
+    def test_store_repr(self):
+        assert str(store("x", 1)) == "[x] <- 1"
+
+    def test_load_repr(self):
+        assert str(load("y", "r1")) == "r1 <- [y]"
+
+    def test_fence_repr(self):
+        assert str(fence()) == "fence"
+
+    def test_load_requires_out(self):
+        with pytest.raises(LitmusError):
+            from repro.litmus.test import MemOp
+
+            MemOp(kind="R", addr="x")
+
+    def test_store_requires_value(self):
+        with pytest.raises(LitmusError):
+            from repro.litmus.test import MemOp
+
+            MemOp(kind="W", addr="x")
+
+    def test_bad_kind(self):
+        with pytest.raises(LitmusError):
+            from repro.litmus.test import MemOp
+
+            MemOp(kind="X")
+
+
+class TestLitmusTest:
+    def test_addresses_in_first_use_order(self):
+        assert mp_test().addresses == ["x", "y"]
+
+    def test_initial_memory_defaults_to_zero(self):
+        assert mp_test().initial_memory_map == {"x": 0, "y": 0}
+
+    def test_explicit_initial_memory(self):
+        test = LitmusTest.of(
+            "init",
+            [[load("x", "r1")]],
+            Outcome.of({"r1": 7}),
+            initial_memory={"x": 7},
+        )
+        assert test.initial_memory_map == {"x": 7}
+
+    def test_duplicate_load_outputs_rejected(self):
+        with pytest.raises(LitmusError):
+            LitmusTest.of(
+                "dup",
+                [[load("x", "r1"), load("y", "r1")]],
+                Outcome.of({"r1": 0}),
+            )
+
+    def test_outcome_register_must_have_load(self):
+        with pytest.raises(LitmusError):
+            LitmusTest.of("bad", [[store("x", 1)]], Outcome.of({"r9": 1}))
+
+    def test_outcome_final_must_use_known_variable(self):
+        with pytest.raises(LitmusError):
+            LitmusTest.of(
+                "bad", [[store("x", 1)]], Outcome.of({}, {"z": 1})
+            )
+
+    def test_no_threads_rejected(self):
+        with pytest.raises(LitmusError):
+            LitmusTest.of("empty", [], Outcome.of({}))
+
+    def test_pretty_numbers_instructions_globally(self):
+        text = mp_test().pretty()
+        assert "(i1) [x] <- 1" in text
+        assert "(i4) r2 <- [x]" in text
+
+
+class TestCompile:
+    def test_unused_cores_get_bare_halt(self):
+        compiled = compile_test(mp_test())
+        assert compiled.programs[2] == [Halt()]
+        assert compiled.programs[3] == [Halt()]
+
+    def test_each_op_is_one_instruction_plus_halt(self):
+        compiled = compile_test(mp_test())
+        assert len(compiled.programs[0]) == 3  # sw, sw, halt
+        assert isinstance(compiled.programs[0][0], Sw)
+        assert isinstance(compiled.programs[1][0], Lw)
+        assert isinstance(compiled.programs[0][-1], Halt)
+
+    def test_address_map_starts_at_data_base(self):
+        compiled = compile_test(mp_test())
+        assert compiled.address_map == {"x": DATA_BASE_WORD, "y": DATA_BASE_WORD + 1}
+        assert compiled.byte_address("x") == DATA_BASE_WORD * 4
+
+    def test_register_initialization_covers_addresses_and_data(self):
+        compiled = compile_test(mp_test())
+        regs0 = compiled.reg_init[0]
+        # store x: addr reg x1 = &x, data reg x2 = 1
+        assert regs0[1] == DATA_BASE_WORD * 4
+        assert regs0[2] == 1
+        # store y: addr reg x3 = &y, data reg x4 = 1
+        assert regs0[3] == (DATA_BASE_WORD + 1) * 4
+        assert regs0[4] == 1
+        # loads on core 1 initialize only address registers
+        regs1 = compiled.reg_init[1]
+        assert regs1[1] == (DATA_BASE_WORD + 1) * 4
+        assert 2 not in regs1
+
+    def test_uids_are_global_and_ordered(self):
+        compiled = compile_test(mp_test())
+        assert [op.uid for op in compiled.ops] == [1, 2, 3, 4]
+        assert compiled.op_by_uid(3).core == 1
+
+    def test_pcs_are_word_aligned_and_sequential(self):
+        compiled = compile_test(mp_test())
+        assert [op.pc for op in compiled.ops_on_core(0)] == [0, 4]
+
+    def test_initial_data_memory(self):
+        compiled = compile_test(mp_test())
+        assert compiled.initial_data_memory == {
+            DATA_BASE_WORD: 0,
+            DATA_BASE_WORD + 1: 0,
+        }
+
+    def test_too_many_threads_rejected(self):
+        test = LitmusTest.of(
+            "wide",
+            [[store("x", 1)]] * 5,
+            Outcome.of({}),
+        )
+        with pytest.raises(LitmusError):
+            compile_test(test, num_cores=4)
+
+    def test_fence_compiles_without_registers(self):
+        test = LitmusTest.of(
+            "fenced",
+            [[store("x", 1), fence(), load("x", "r1")]],
+            Outcome.of({"r1": 1}),
+        )
+        compiled = compile_test(test)
+        assert compiled.ops[1].addr_reg is None
+
+    def test_unknown_uid_raises(self):
+        with pytest.raises(LitmusError):
+            compile_test(mp_test()).op_by_uid(99)
+
+
+MP_TEXT = """
+litmus mp
+core 0:
+  [x] <- 1
+  [y] <- 1
+core 1:
+  r1 <- [y]
+  r2 <- [x]
+outcome: r1=1, r2=0
+"""
+
+
+class TestParser:
+    def test_parse_mp(self):
+        test = parse_litmus(MP_TEXT)
+        assert test.name == "mp"
+        assert test.num_threads == 2
+        assert test.outcome.register_map == {"r1": 1, "r2": 0}
+
+    def test_roundtrip_through_format(self):
+        test = parse_litmus(MP_TEXT)
+        again = parse_litmus(format_litmus(test))
+        assert again == test
+
+    def test_parse_init_and_final(self):
+        text = MP_TEXT + "final: x=1\n" + "init: x=0, y=0\n"
+        test = parse_litmus(text)
+        assert test.outcome.final_memory_map == {"x": 1}
+
+    def test_parse_fence(self):
+        test = parse_litmus(
+            "litmus f\ncore 0:\n  [x] <- 1\n  fence\n  r1 <- [x]\noutcome: r1=1\n"
+        )
+        assert test.threads[0][1].is_fence
+
+    def test_comments_ignored(self):
+        test = parse_litmus(MP_TEXT.replace("[x] <- 1", "[x] <- 1  # store to x"))
+        assert test.name == "mp"
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(LitmusError):
+            parse_litmus("core 0:\n  [x] <- 1\noutcome: r1=0")
+
+    def test_missing_outcome_rejected(self):
+        with pytest.raises(LitmusError):
+            parse_litmus("litmus t\ncore 0:\n  [x] <- 1\n")
+
+    def test_instruction_outside_core_rejected(self):
+        with pytest.raises(LitmusError) as err:
+            parse_litmus("litmus t\n[x] <- 1\noutcome: r1=0")
+        assert "line 2" in str(err.value)
+
+    def test_garbage_instruction_rejected(self):
+        with pytest.raises(LitmusError):
+            parse_litmus("litmus t\ncore 0:\n  add r1, r2\noutcome: r1=0")
+
+    def test_parse_suite_splits_on_dashes(self):
+        both = parse_suite(MP_TEXT + "\n---\n" + MP_TEXT.replace("litmus mp", "litmus mp2"))
+        assert [t.name for t in both] == ["mp", "mp2"]

@@ -1,0 +1,132 @@
+"""Tests for the node and program mapping functions (Figures 8/9)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.isa import encode
+from repro.litmus import compile_test, get_test
+from repro.mapping import MultiVScaleNodeMapping, MultiVScaleProgramMapping
+from repro.vscale.params import core_base_pc, imem_base_word
+
+
+@pytest.fixture(scope="module")
+def mp_compiled():
+    return compile_test(get_test("mp"))
+
+
+@pytest.fixture(scope="module")
+def node_mapping(mp_compiled):
+    return MultiVScaleNodeMapping(mp_compiled)
+
+
+@pytest.fixture(scope="module")
+def program_mapping(mp_compiled):
+    return MultiVScaleProgramMapping(mp_compiled)
+
+
+class TestNodeMapping:
+    def test_wb_mapping_matches_figure9(self, node_mapping, mp_compiled):
+        # i3 = core 1's first instruction (Ld y).
+        expr = node_mapping.map_node((3, "Writeback"), None)
+        text = expr.emit()
+        pc = core_base_pc(1)
+        assert f"core[1].PC_WB == 32'd{pc}" in text
+        assert "~(core[1].stall_WB)" in text
+        assert "load_data_WB" not in text
+
+    def test_wb_mapping_with_load_constraint(self, node_mapping):
+        expr = node_mapping.map_node((4, "Writeback"), 0)
+        text = expr.emit()
+        assert "core[1].load_data_WB == 32'd0" in text
+
+    def test_if_and_dx_mappings(self, node_mapping):
+        if_expr = node_mapping.map_node((1, "Fetch"), None).emit()
+        dx_expr = node_mapping.map_node((1, "DecodeExecute"), None).emit()
+        assert "PC_IF" in if_expr and "stall_IF" in if_expr
+        assert "PC_DX" in dx_expr and "stall_DX" in dx_expr
+
+    def test_load_constraint_on_store_rejected(self, node_mapping):
+        with pytest.raises(MappingError):
+            node_mapping.map_node((1, "Writeback"), 1)  # i1 is a store
+
+    def test_unknown_stage_rejected(self, node_mapping):
+        with pytest.raises(MappingError):
+            node_mapping.map_node((1, "Retire"), None)
+
+    def test_absolute_pcs_per_core(self, node_mapping):
+        # i2 is core 0's second instruction.
+        assert node_mapping.absolute_pc(2) == core_base_pc(0) + 4
+        # i3 is core 1's first instruction.
+        assert node_mapping.absolute_pc(3) == core_base_pc(1)
+
+    def test_mapping_evaluates_on_frames(self, node_mapping):
+        expr = node_mapping.map_node((3, "Writeback"), 1)
+        pc = core_base_pc(1)
+        frame = {
+            "core[1].PC_WB": pc,
+            "core[1].stall_WB": 0,
+            "core[1].load_data_WB": 1,
+        }
+        assert expr.evaluate(frame)
+        frame["core[1].load_data_WB"] = 0
+        assert not expr.evaluate(frame)
+
+
+class TestProgramMapping:
+    def test_instruction_memory_assumptions(self, program_mapping, mp_compiled):
+        directives = program_mapping.instruction_memory_assumptions()
+        # 4 cores x (program + halt) words.
+        expected = sum(len(p) for p in mp_compiled.programs)
+        assert len(directives) == expected
+        assert all(d.structural for d in directives)
+        # Core 0's first instruction lives at its base imem word with
+        # the real RV32I encoding (Figure 8's mem[1] assumption).
+        first = directives[0].emit()
+        word = imem_base_word(0)
+        enc = encode(mp_compiled.programs[0][0])
+        assert f"mem[{word}] == 32'd{enc}" in first
+        assert "first |->" in first
+
+    def test_data_memory_assumptions(self, program_mapping, mp_compiled):
+        directives = program_mapping.data_memory_assumptions()
+        assert len(directives) == 2  # x and y
+        assert not any(d.structural for d in directives)
+        texts = [d.emit() for d in directives]
+        assert any(f"mem[{mp_compiled.address_map['x']}] == 32'd0" in t for t in texts)
+
+    def test_register_assumptions(self, program_mapping, mp_compiled):
+        directives = program_mapping.register_assumptions()
+        texts = [d.emit() for d in directives]
+        x_addr = mp_compiled.byte_address("x")
+        assert any(f"core[0].regs[1] == 32'd{x_addr}" in t for t in texts)
+        assert all(d.structural for d in directives)
+
+    def test_load_value_assumptions_repeat_antecedent(self, program_mapping):
+        directives = program_mapping.load_value_assumptions()
+        assert len(directives) == 2  # r1 and r2
+        text = directives[0].emit()
+        # Figure 8 style: consequent repeats the antecedent and adds the
+        # data constraint.
+        assert text.count("PC_WB") == 2
+        assert "load_data_WB" in text
+
+    def test_final_value_assumption_requires_all_halted(self, program_mapping):
+        directive = program_mapping.final_value_assumption()
+        text = directive.emit()
+        for core in range(4):
+            assert f"core[{core}].halted == 32'd1" in text
+        # mp pins no final memory: trivially-true consequent.
+        assert text.endswith("|-> (1));")
+
+    def test_final_value_assumption_with_pinned_memory(self):
+        compiled = compile_test(get_test("n1"))  # pins final x=1
+        directive = MultiVScaleProgramMapping(compiled).final_value_assumption()
+        text = directive.emit()
+        assert f"mem[{compiled.address_map['x']}] == 32'd1" in text
+
+    def test_all_assumptions_bundle(self, program_mapping):
+        directives = program_mapping.all_assumptions()
+        names = [d.name for d in directives]
+        assert "final_values" in names
+        assert len(names) == len(set(names))
+        assert all(d.kind == "assume" for d in directives)

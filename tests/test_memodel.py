@@ -1,0 +1,174 @@
+"""Tests for the SC / TSO oracles (operational and axiomatic)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.litmus import LitmusTest, Outcome, get_test, load, paper_suite, store
+from repro.memodel import (
+    axiomatic_sc_allowed,
+    axiomatic_sc_witness,
+    enumerate_sc_outcomes,
+    enumerate_tso_outcomes,
+    extract_events,
+    is_acyclic,
+    program_order_pairs,
+    sc_allowed,
+    sc_forbidden,
+    tso_allowed,
+)
+
+
+class TestClassicVerdicts:
+    def test_mp_forbidden_everywhere(self):
+        assert sc_forbidden(get_test("mp"))
+        assert not tso_allowed(get_test("mp"))
+
+    def test_sb_distinguishes_sc_from_tso(self):
+        sb = get_test("sb")
+        assert sc_forbidden(sb)
+        assert tso_allowed(sb)  # the classic store-buffering relaxation
+
+    def test_lb_forbidden_under_tso(self):
+        lb = get_test("lb")
+        assert sc_forbidden(lb)
+        assert not tso_allowed(lb)  # TSO does not reorder loads with later stores
+
+    def test_iriw_forbidden(self):
+        assert sc_forbidden(get_test("iriw"))
+
+    def test_allowed_outcomes_exist(self):
+        assert sc_allowed(get_test("iwp24"))
+        assert sc_allowed(get_test("n5"))
+
+    def test_coherence_tests_forbidden_under_tso_too(self):
+        assert not tso_allowed(get_test("co-mp"))
+        assert not tso_allowed(get_test("co-iriw"))
+
+    def test_single_core_staleness_forbidden(self):
+        assert sc_forbidden(get_test("ssl"))
+        assert not tso_allowed(get_test("ssl"))  # store buffer forwards
+
+
+class TestEnumeration:
+    def test_mp_has_three_sc_register_outcomes(self):
+        outcomes = {dict(f[0]) for f in ()}
+        finals = enumerate_sc_outcomes(get_test("mp"))
+        regs = {tuple(sorted(dict(f[0]).items())) for f in finals}
+        assert regs == {
+            (("r1", 0), ("r2", 0)),
+            (("r1", 0), ("r2", 1)),
+            (("r1", 1), ("r2", 1)),
+        }
+
+    def test_tso_outcomes_superset_of_sc(self):
+        for name in ("mp", "sb", "lb", "wrc"):
+            test = get_test(name)
+            assert enumerate_sc_outcomes(test) <= enumerate_tso_outcomes(test)
+
+    def test_final_memory_tracked(self):
+        test = LitmusTest.of(
+            "two-writes",
+            [[store("x", 1)], [store("x", 2)]],
+            Outcome.of({}, {"x": 1}),
+        )
+        finals = {dict(f[1])["x"] for f in enumerate_sc_outcomes(test)}
+        assert finals == {1, 2}
+
+    def test_fence_drains_tso_buffer(self):
+        from repro.litmus import fence
+
+        test = LitmusTest.of(
+            "sb+fences",
+            [[store("x", 1), fence(), load("y", "r1")],
+             [store("y", 1), fence(), load("x", "r2")]],
+            Outcome.of({"r1": 0, "r2": 0}),
+        )
+        assert sc_forbidden(test)
+        assert not tso_allowed(test)  # fences restore SC for sb
+
+
+class TestAxiomatic:
+    def test_witness_for_allowed_outcome(self):
+        witness = axiomatic_sc_witness(get_test("iwp24"))
+        assert witness is not None
+        assert witness.is_sc()
+
+    def test_no_witness_for_forbidden_outcome(self):
+        assert axiomatic_sc_witness(get_test("mp")) is None
+
+    def test_candidate_load_values(self):
+        test = get_test("mp")
+        for candidate in __import__("repro.memodel.axiomatic", fromlist=["enumerate_candidates"]).enumerate_candidates(test):
+            events = candidate.events
+            for event in events:
+                if event.is_load:
+                    assert candidate.load_value(event.eid) in (0, 1)
+            break
+
+    def test_agreement_with_operational_on_paper_suite(self):
+        for test in paper_suite():
+            assert axiomatic_sc_allowed(test) == sc_allowed(test), test.name
+
+
+class TestGraphHelpers:
+    def test_is_acyclic_trivial(self):
+        assert is_acyclic(3, [(0, 1), (1, 2)])
+
+    def test_is_acyclic_detects_cycle(self):
+        assert not is_acyclic(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_self_loop_is_cycle(self):
+        assert not is_acyclic(1, [(0, 0)])
+
+    def test_program_order_is_transitive(self):
+        events = extract_events(get_test("mp"))
+        pairs = set(program_order_pairs(events))
+        assert (0, 1) in pairs  # core 0: i1 -> i2
+        assert (2, 3) in pairs  # core 1: i3 -> i4
+        assert (0, 2) not in pairs  # cross-core
+
+
+# ---------------------------------------------------------------------------
+# Property-based: the two SC oracles are equivalent on random tests.
+# ---------------------------------------------------------------------------
+
+_ADDRS = ("x", "y")
+
+
+@st.composite
+def small_litmus_tests(draw):
+    num_threads = draw(st.integers(min_value=1, max_value=3))
+    reg_counter = 0
+    threads = []
+    loads = []
+    for _t in range(num_threads):
+        ops = []
+        for _i in range(draw(st.integers(min_value=1, max_value=2))):
+            addr = draw(st.sampled_from(_ADDRS))
+            if draw(st.booleans()):
+                ops.append(store(addr, draw(st.integers(min_value=1, max_value=2))))
+            else:
+                reg_counter += 1
+                reg = f"r{reg_counter}"
+                ops.append(load(addr, reg))
+                loads.append((reg, addr))
+        threads.append(ops)
+    outcome_regs = {}
+    for reg, _addr in loads:
+        if draw(st.booleans()):
+            outcome_regs[reg] = draw(st.integers(min_value=0, max_value=2))
+    return LitmusTest.of("random", threads, Outcome.of(outcome_regs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_litmus_tests())
+def test_operational_and_axiomatic_sc_agree(test):
+    assert sc_allowed(test) == axiomatic_sc_allowed(test)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_litmus_tests())
+def test_tso_admits_every_sc_outcome(test):
+    if sc_allowed(test):
+        assert tso_allowed(test)

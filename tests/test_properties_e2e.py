@@ -1,0 +1,139 @@
+"""Cross-cutting property-based tests: the invariants that tie the
+whole stack together.
+
+* For random small litmus tests, the fixed SC design's covering-trace
+  reachability equals the SC oracle's verdict, and RTLCheck never finds
+  a counterexample on the fixed design.
+* For random arbiter schedules, RTL executions produce only
+  oracle-allowed outcomes (SC design vs SC oracle, TSO design vs TSO
+  oracle).
+* The µhb layer and the RTL cover phase agree on observability.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RTLCheck
+from repro.litmus import LitmusTest, Outcome, compile_test, load, store
+from repro.memodel import (
+    enumerate_sc_outcomes,
+    enumerate_tso_outcomes,
+    sc_allowed,
+    tso_allowed,
+)
+from repro.rtl import Simulator
+from repro.uhb import microarch_observable
+from repro.uspec import load_model, multi_vscale_model
+from repro.vscale import MultiVScale, MultiVScaleTSO
+
+_ADDRS = ("x", "y")
+
+
+@st.composite
+def small_tests_with_outcome(draw):
+    """Random 1-3 thread tests; the candidate outcome pins every load
+    (required by check-mode omniscience) to a value that is at least
+    plausible (0..2)."""
+    num_threads = draw(st.integers(min_value=1, max_value=3))
+    reg = 0
+    threads = []
+    loads = []
+    for _t in range(num_threads):
+        ops = []
+        for _i in range(draw(st.integers(min_value=1, max_value=2))):
+            addr = draw(st.sampled_from(_ADDRS))
+            if draw(st.booleans()):
+                ops.append(store(addr, draw(st.integers(min_value=1, max_value=2))))
+            else:
+                reg += 1
+                name = f"r{reg}"
+                ops.append(load(addr, name))
+                loads.append(name)
+        threads.append(ops)
+    outcome = {name: draw(st.integers(min_value=0, max_value=2)) for name in loads}
+    return LitmusTest.of("random", threads, Outcome.of(outcome))
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_tests_with_outcome())
+def test_cover_reachability_equals_sc_oracle(test):
+    rtlcheck = RTLCheck()
+    result = rtlcheck.verify_test(test)
+    reachable = "final_values" in result.cover.fired_assumptions
+    assert result.cover.exhausted
+    assert reachable == sc_allowed(test)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_tests_with_outcome())
+def test_fixed_design_never_fails_assertions(test):
+    rtlcheck = RTLCheck()
+    result = rtlcheck.verify_test(test, skip_cover_shortcut=True)
+    assert not result.bug_found, result.summary()
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_tests_with_outcome())
+def test_microarch_agrees_with_sc_oracle(test):
+    result = microarch_observable(multi_vscale_model(), test)
+    assert result.observable == sc_allowed(test)
+
+
+@settings(max_examples=15, deadline=None)
+@given(small_tests_with_outcome())
+def test_tso_microarch_agrees_with_tso_oracle(test):
+    result = microarch_observable(load_model("multi_vscale_tso"), test)
+    assert result.observable == tso_allowed(test)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    small_tests_with_outcome(),
+    st.lists(st.integers(min_value=0, max_value=3), min_size=40, max_size=60),
+)
+def test_sc_rtl_outcomes_within_sc_oracle(test, schedule):
+    compiled = compile_test(test)
+    soc = MultiVScale(compiled, "fixed")
+    sim = Simulator(soc)
+    iterator = iter(schedule)
+    for _ in range(80):
+        sim.step({"arb_select": next(iterator, 0)})
+        if soc.drained():
+            break
+    if not soc.drained():
+        return  # starved by the schedule; nothing to check
+    allowed = {
+        (tuple(sorted(dict(f[0]).items())), tuple(sorted(dict(f[1]).items())))
+        for f in enumerate_sc_outcomes(test)
+    }
+    regs = tuple(sorted(soc.register_results().items()))
+    mem = soc.memory_results()
+    assert any(
+        dict(f_regs) == dict(regs)
+        and all(dict(f_mem).get(k, 0) == v for k, v in mem.items())
+        for f_regs, f_mem in allowed
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    small_tests_with_outcome(),
+    st.lists(st.integers(min_value=0, max_value=3), min_size=60, max_size=90),
+)
+def test_tso_rtl_outcomes_within_tso_oracle(test, schedule):
+    compiled = compile_test(test)
+    soc = MultiVScaleTSO(compiled)
+    sim = Simulator(soc)
+    iterator = iter(schedule)
+    for _ in range(140):
+        sim.step({"arb_select": next(iterator, 0)})
+        if soc.drained():
+            break
+    if not soc.drained():
+        return
+    allowed_regs = {
+        tuple(sorted(dict(f[0]).items())) for f in enumerate_tso_outcomes(test)
+    }
+    regs = tuple(sorted(soc.register_results().items()))
+    assert regs in allowed_regs

@@ -1,0 +1,93 @@
+"""Tests for result aggregation and SVA file emission."""
+
+import pytest
+
+from repro import RTLCheck, get_test
+from repro.core.results import PropertyResult, TestVerification
+from repro.sva.ast import Directive, PConst
+from repro.sva.emit import emit_sva_file
+from repro.verifier.config import PROOF_PHASE_HOURS
+from repro.verifier.engines import EngineVerdict
+from repro.verifier.explorer import ExplorationResult, FAILED, PROVEN, BOUNDED
+
+
+def _prop(name, status, bound=None, hours=1.0):
+    verdict = EngineVerdict(status=status, bound=bound, modeled_hours=hours)
+    ground = ExplorationResult(verdict="proven" if status != "cex" else "cex")
+    return PropertyResult(name=name, verdict=verdict, ground_truth=ground)
+
+
+def _verification(**overrides):
+    base = dict(
+        test=get_test("mp"),
+        memory_variant="fixed",
+        config_name="Full_Proof",
+        assumptions=[],
+        assertions=[],
+        sva_text="",
+        generation_seconds=0.01,
+        cover=ExplorationResult(verdict="reachable", exhausted=True),
+        cover_hours=0.5,
+        verified_by_cover=False,
+    )
+    base.update(overrides)
+    return TestVerification(**base)
+
+
+class TestAggregation:
+    def test_cover_verified_summary(self):
+        result = _verification(verified_by_cover=True, cover_hours=0.05)
+        assert result.verified
+        assert result.modeled_hours == 0.05
+        assert "unreachable" in result.summary()
+
+    def test_all_proven(self):
+        result = _verification()
+        result.properties = [_prop("a", PROVEN, hours=2.0), _prop("b", PROVEN, hours=4.0)]
+        assert result.verified
+        assert result.proven_fraction == 1.0
+        # cover + slowest property
+        assert result.modeled_hours == pytest.approx(0.5 + 4.0)
+
+    def test_bounded_pins_runtime_to_allotment(self):
+        result = _verification()
+        result.properties = [_prop("a", PROVEN), _prop("b", BOUNDED, bound=22)]
+        assert result.verified
+        assert result.bounded_count == 1
+        assert result.bounded_bounds == [22]
+        assert result.modeled_hours == pytest.approx(0.5 + PROOF_PHASE_HOURS)
+
+    def test_counterexample_dominates(self):
+        result = _verification()
+        result.properties = [_prop("a", FAILED), _prop("b", PROVEN)]
+        assert result.bug_found
+        assert not result.verified
+        assert "COUNTEREXAMPLE" in result.summary()
+        assert [p.name for p in result.counterexamples] == ["a"]
+
+    def test_empty_proof_phase(self):
+        result = _verification()
+        assert result.proven_fraction == 1.0
+        assert result.modeled_hours == 0.5
+
+
+class TestEmission:
+    def test_sections_present(self):
+        assume = Directive(kind="assume", name="a0", prop=PConst(True))
+        check = Directive(kind="assert", name="c0", prop=PConst(True))
+        text = emit_sva_file("mp", [assume, check])
+        assert "assumptions (Assumption Generator)" in text
+        assert "assertions (Assertion Generator)" in text
+        assert text.index("assume property") < text.index("assert property")
+
+    def test_first_signal_logic_included(self):
+        text = emit_sva_file("mp", [])
+        assert "reg first;" in text
+        assert "if (reset) first <= 1'b1;" in text
+
+    def test_real_generation_round(self):
+        generated = RTLCheck().generate(get_test("lb"))
+        text = generated.sva_text
+        # Every directive's name appears as a label.
+        for directive in generated.assertions[:5]:
+            assert f"{directive.name}:" in text

@@ -1,0 +1,164 @@
+"""Tests for the property monitor and assumption checker."""
+
+import pytest
+
+from repro.errors import SvaError
+from repro.sva import (
+    AssumptionChecker,
+    BNot,
+    Directive,
+    PAnd,
+    PConst,
+    PImpl,
+    POr,
+    PSeq,
+    PropertyMonitor,
+    SBool,
+    SRepeat,
+    Sig,
+    SigEq,
+    band,
+    run_monitor_on_trace,
+    scat,
+)
+
+
+def seq_ab():
+    return scat(SBool(Sig("a")), SBool(Sig("b")))
+
+
+def directive(prop, name="p"):
+    return Directive(kind="assert", name=name, prop=prop)
+
+
+class TestPropertyMonitor:
+    def test_simple_sequence_matches(self):
+        mon = PropertyMonitor(directive(PImpl(Sig("first"), PSeq(seq_ab()))))
+        verdict, cycle = run_monitor_on_trace(mon, [{"a": 1}, {"b": 1}])
+        assert verdict is True and cycle == 1
+
+    def test_simple_sequence_fails(self):
+        mon = PropertyMonitor(directive(PImpl(Sig("first"), PSeq(seq_ab()))))
+        verdict, cycle = run_monitor_on_trace(mon, [{"a": 1}, {"a": 1}])
+        assert verdict is False and cycle == 1
+
+    def test_unguarded_property_accepted(self):
+        mon = PropertyMonitor(directive(PSeq(seq_ab())))
+        verdict, _ = run_monitor_on_trace(mon, [{"a": 1}, {"b": 1}])
+        assert verdict is True
+
+    def test_pending_returns_none(self):
+        mon = PropertyMonitor(directive(PSeq(seq_ab())))
+        verdict, _ = run_monitor_on_trace(mon, [{"a": 1}])
+        assert verdict is None
+
+    def test_and_needs_both(self):
+        prop = PAnd((PSeq(SBool(Sig("a"))), PSeq(SBool(Sig("b")))))
+        mon = PropertyMonitor(directive(prop))
+        verdict, _ = run_monitor_on_trace(mon, [{"a": 1, "b": 1}])
+        assert verdict is True
+        verdict, _ = run_monitor_on_trace(mon, [{"a": 1}])
+        assert verdict is False
+
+    def test_or_needs_one(self):
+        prop = POr((PSeq(SBool(Sig("a"))), PSeq(SBool(Sig("b")))))
+        mon = PropertyMonitor(directive(prop))
+        verdict, _ = run_monitor_on_trace(mon, [{"b": 1}])
+        assert verdict is True
+        verdict, _ = run_monitor_on_trace(mon, [{}])
+        assert verdict is False
+
+    def test_or_stays_pending_until_resolvable(self):
+        # Branch 1 fails immediately; branch 2 is a two-cycle sequence.
+        prop = POr((PSeq(SBool(Sig("a"))), PSeq(seq_ab())))
+        mon = PropertyMonitor(directive(prop))
+        state = mon.initial()
+        state = mon.step(state, {"a": 0})  # branch1 fails; branch2 needs 'a'
+        assert mon.verdict(state) is False  # branch2's first cycle also failed
+
+    def test_three_valued_and_short_circuits_false(self):
+        prop = PAnd((PSeq(SBool(Sig("a"))), PSeq(seq_ab())))
+        mon = PropertyMonitor(directive(prop))
+        state = mon.step(mon.initial(), {})
+        assert mon.verdict(state) is False
+
+    def test_const_property(self):
+        mon = PropertyMonitor(directive(PConst(True)))
+        verdict, _ = run_monitor_on_trace(mon, [{}])
+        assert verdict is True
+
+    def test_empty_match_sequence_rejected(self):
+        with pytest.raises(SvaError):
+            PropertyMonitor(directive(PSeq(SRepeat(Sig("a"), 0, None))))
+
+    def test_monitor_state_is_hashable(self):
+        mon = PropertyMonitor(directive(PSeq(seq_ab())))
+        state = mon.step(mon.initial(), {"a": 1})
+        hash(state)
+        assert state == mon.step(mon.initial(), {"a": 1})
+
+    def test_resolve_at_quiescence_weak_pass(self):
+        """A pending match at quiescence is not a failure (weak
+        sequence semantics)."""
+        mon = PropertyMonitor(directive(PSeq(seq_ab())))
+        state = mon.step(mon.initial(), {"a": 1})
+        assert mon.verdict(state) is None
+        assert mon.resolve_at_quiescence(state, {}) is True
+
+    def test_resolve_at_quiescence_keeps_failure(self):
+        mon = PropertyMonitor(directive(PSeq(seq_ab())))
+        state = mon.step(mon.initial(), {})
+        assert mon.resolve_at_quiescence(state, {}) is False
+
+
+class TestAssumptionChecker:
+    def make(self):
+        at_wb = SigEq("pc", 24)
+        good = band(at_wb, SigEq("data", 1))
+        return AssumptionChecker(
+            [
+                Directive(
+                    kind="assume",
+                    name="load_value",
+                    prop=PImpl(at_wb, PSeq(SBool(good))),
+                ),
+                Directive(
+                    kind="assume",
+                    name="structural",
+                    prop=PConst(True),
+                    structural=True,
+                ),
+            ]
+        )
+
+    def test_ok_when_antecedent_idle(self):
+        checker = self.make()
+        assert checker.frame_ok({"pc": 0, "data": 0})
+
+    def test_ok_when_consequent_holds(self):
+        checker = self.make()
+        assert checker.frame_ok({"pc": 24, "data": 1})
+
+    def test_violation_pruned_at_the_offending_cycle(self):
+        checker = self.make()
+        assert not checker.frame_ok({"pc": 24, "data": 0})
+        assert checker.violated_names({"pc": 24, "data": 0}) == ["load_value"]
+
+    def test_structural_assumptions_not_monitored(self):
+        checker = self.make()
+        assert len(checker.checks) == 1
+
+    def test_non_implication_assumption_rejected(self):
+        with pytest.raises(SvaError):
+            AssumptionChecker(
+                [Directive(kind="assume", name="bad", prop=PSeq(seq_ab()))]
+            )
+
+    def test_nested_implication_consequent(self):
+        inner = PImpl(Sig("b"), PSeq(SBool(Sig("c"))))
+        checker = AssumptionChecker(
+            [Directive(kind="assume", name="n", prop=PImpl(Sig("a"), inner))]
+        )
+        assert checker.frame_ok({"a": 1, "b": 0})
+        assert checker.frame_ok({"a": 1, "b": 1, "c": 1})
+        assert not checker.frame_ok({"a": 1, "b": 1, "c": 0})

@@ -1,0 +1,226 @@
+"""Tests for µhb graphs and the Check-style enumeration solver."""
+
+import pytest
+
+from repro.errors import UspecError
+from repro.litmus import compile_test, get_test, paper_suite
+from repro.memodel import sc_allowed
+from repro.uhb import (
+    MicroarchResult,
+    UhbGraph,
+    UhbSolver,
+    cyclic_witness_graph,
+    ground_axioms,
+    instruction_labels,
+    microarch_observable,
+    to_nnf,
+)
+from repro.uspec import GroundEdge, multi_vscale_model
+from repro.uspec.ast import And, Not, Or, Truth
+
+A = (1, "WB")
+B = (2, "WB")
+C = (3, "WB")
+
+
+def add(src, dst):
+    return GroundEdge(kind="add", src=src, dst=dst)
+
+
+def exists(src, dst):
+    return GroundEdge(kind="exists", src=src, dst=dst)
+
+
+class TestGraph:
+    def test_add_and_query(self):
+        g = UhbGraph()
+        g.add_edge(A, B, "po", "black")
+        assert g.has_edge(A, B)
+        assert not g.has_edge(B, A)
+        assert g.nodes() == {A, B}
+
+    def test_path_and_cycle_detection(self):
+        g = UhbGraph()
+        g.add_edge(A, B)
+        g.add_edge(B, C)
+        assert g.has_path(A, C)
+        assert g.would_close_cycle(C, A)
+        assert not g.would_close_cycle(A, C)
+        assert g.is_acyclic()
+        g.add_edge(C, A)
+        assert not g.is_acyclic()
+
+    def test_topological_order(self):
+        g = UhbGraph()
+        g.add_edge(A, B)
+        g.add_edge(B, C)
+        order = g.topological_order()
+        assert order.index(A) < order.index(B) < order.index(C)
+
+    def test_topological_order_none_for_cycle(self):
+        g = UhbGraph()
+        g.add_edge(A, B)
+        g.add_edge(B, A)
+        assert g.topological_order() is None
+
+    def test_find_cycle(self):
+        g = UhbGraph()
+        g.add_edge(A, B)
+        g.add_edge(B, C)
+        g.add_edge(C, A)
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert set(cycle) <= {A, B, C}
+
+    def test_find_cycle_none_when_acyclic(self):
+        g = UhbGraph()
+        g.add_edge(A, B)
+        assert g.find_cycle() is None
+
+    def test_remove_edge(self):
+        g = UhbGraph()
+        g.add_edge(A, B)
+        g.remove_edge(A, B)
+        assert not g.has_edge(A, B)
+        assert not g.would_close_cycle(B, A)
+
+    def test_copy_is_independent(self):
+        g = UhbGraph()
+        g.add_edge(A, B)
+        dup = g.copy()
+        dup.add_edge(B, C)
+        assert not g.has_edge(B, C)
+
+    def test_to_dot(self):
+        g = UhbGraph()
+        g.add_edge(A, B, "fr", "red")
+        dot = g.to_dot(instr_names={1: "i1: [x] <- 1"})
+        assert "digraph" in dot
+        assert 'color="red"' in dot
+        assert "i1" in dot
+
+
+class TestNnf:
+    def test_double_negation(self):
+        f = Not(Not(add(A, B)))
+        assert to_nnf(f) == add(A, B)
+
+    def test_de_morgan(self):
+        f = Not(And((add(A, B), add(B, C))))
+        out = to_nnf(f)
+        assert isinstance(out, Or)
+        assert all(isinstance(op, Not) for op in out.operands)
+
+    def test_truth_negation(self):
+        assert to_nnf(Not(Truth(True))) == Truth(False)
+
+
+class TestSolverToyCases:
+    def test_single_acyclic_choice_observable(self):
+        solver = UhbSolver({"a": add(A, B)})
+        result = solver.solve()
+        assert result.observable
+        assert result.witness.has_edge(A, B)
+
+    def test_forced_cycle_unobservable(self):
+        solver = UhbSolver({"a": add(A, B), "b": add(B, A)})
+        result = solver.solve()
+        assert not result.observable
+
+    def test_disjunction_explores_both_orders(self):
+        solver = UhbSolver({"order": Or((add(A, B), add(B, A)))})
+        result = solver.solve(find_all=True)
+        assert result.observable
+        assert result.acyclic_graphs == 2
+
+    def test_horn_rule_fires_on_premise(self):
+        # edge(A,B) unconditionally; (~exists(A,B) \/ add(B,C)) must add.
+        solver = UhbSolver(
+            {
+                "base": add(A, B),
+                "rule": Or((Not(exists(A, B)), add(B, C))),
+            }
+        )
+        result = solver.solve()
+        assert result.observable
+        assert result.witness.has_edge(B, C)
+
+    def test_horn_rule_idle_without_premise(self):
+        solver = UhbSolver({"rule": Or((Not(exists(A, B)), add(B, C)))})
+        result = solver.solve()
+        assert result.observable
+        assert not result.witness.has_edge(B, C)
+
+    def test_exists_obligation_fails_without_justification(self):
+        # EdgeExists alone cannot conjure the edge into the graph.
+        solver = UhbSolver({"a": exists(A, B)})
+        result = solver.solve(find_all=True)
+        assert not result.observable
+        assert result.consistent_graphs == 0
+
+    def test_negated_exists_obligation(self):
+        solver = UhbSolver({"a": add(A, B), "b": Not(exists(A, B))})
+        result = solver.solve(find_all=True)
+        assert not result.observable
+
+    def test_unsatisfiable_axiom(self):
+        solver = UhbSolver({"a": Truth(False)})
+        assert not solver.solve().observable
+
+    def test_chained_horn_rules_reach_fixpoint(self):
+        solver = UhbSolver(
+            {
+                "base": add(A, B),
+                "r1": Or((Not(exists(A, B)), add(B, C))),
+                "r2": Or((Not(exists(B, C)), add(A, C))),
+            }
+        )
+        result = solver.solve()
+        assert result.observable
+        assert result.witness.has_edge(A, C)
+
+    def test_symbolic_load_value_rejected(self):
+        from repro.uspec import LoadValue
+
+        with pytest.raises(UspecError):
+            UhbSolver({"a": LoadValue(1, 0)}).solve()
+
+
+class TestMicroarchVerification:
+    def test_mp_unobservable(self):
+        result = microarch_observable(multi_vscale_model(), get_test("mp"))
+        assert not result.observable
+        assert "unobservable" in result.summary()
+
+    def test_allowed_outcome_observable_with_witness(self):
+        result = microarch_observable(multi_vscale_model(), get_test("iwp24"))
+        assert result.observable
+        assert result.witness is not None
+        assert result.witness.is_acyclic()
+
+    def test_cyclic_witness_for_mp_contains_wb_cycle(self):
+        """The Figure 3a graph: mp's forbidden outcome yields a cyclic
+        consistent graph through the four Writeback nodes."""
+        graph = cyclic_witness_graph(multi_vscale_model(), get_test("mp"))
+        assert graph is not None
+        assert not graph.is_acyclic()
+        cycle = graph.find_cycle()
+        assert cycle
+
+    def test_instruction_labels(self):
+        compiled = compile_test(get_test("mp"))
+        labels = instruction_labels(compiled)
+        assert labels[1] == "i1: [x] <- 1"
+
+    def test_rtl_mode_grounding_rejected_by_solver(self):
+        compiled = compile_test(get_test("mp"))
+        formulas = ground_axioms(multi_vscale_model(), compiled, mode="rtl")
+        with pytest.raises(UspecError):
+            UhbSolver(formulas).solve()
+
+    @pytest.mark.slow
+    def test_microarch_matches_sc_oracle_on_full_suite(self):
+        model = multi_vscale_model()
+        for test in paper_suite():
+            result = microarch_observable(model, test)
+            assert result.observable == sc_allowed(test), test.name

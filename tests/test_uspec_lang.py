@@ -1,0 +1,178 @@
+"""Tests for the µspec lexer and parser."""
+
+import pytest
+
+from repro.errors import UspecSyntaxError
+from repro.uspec import ast, model_source, multi_vscale_model, parse_formula, parse_uspec, tokenize
+
+
+class TestLexer:
+    def test_symbols_and_idents(self):
+        tokens = tokenize(r"AddEdge ((a, DX), (b, WB)) /\ ~X")
+        kinds = [t.kind for t in tokens]
+        assert kinds[-1] == "eof"
+        texts = [t.text for t in tokens if t.kind == "symbol"]
+        assert "/\\" in texts and "~" in texts
+
+    def test_strings(self):
+        tokens = tokenize('Axiom "WB_FIFO":')
+        assert tokens[1].kind == "string"
+        assert tokens[1].text == "WB_FIFO"
+
+    def test_percent_comments(self):
+        tokens = tokenize("% a comment\nforall")
+        assert tokens[0].text == "forall"
+        assert tokens[0].line == 2
+
+    def test_slash_comments(self):
+        tokens = tokenize("// note\nexists")
+        assert tokens[0].text == "exists"
+
+    def test_primed_identifiers(self):
+        tokens = tokenize("w' w''")
+        assert tokens[0].text == "w'"
+        assert tokens[1].text == "w''"
+
+    def test_unterminated_string(self):
+        with pytest.raises(UspecSyntaxError):
+            tokenize('Axiom "oops')
+
+    def test_position_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(UspecSyntaxError):
+            tokenize("a @ b")
+
+
+class TestFormulaParsing:
+    def test_precedence_and_binds_tighter_than_or(self):
+        f = parse_formula("IsAnyRead a \\/ IsAnyWrite a /\\ IsAnyFence a")
+        assert isinstance(f, ast.Or)
+        assert isinstance(f.operands[1], ast.And) or isinstance(f.operands[0], ast.And)
+
+    def test_implication_right_associative(self):
+        f = parse_formula("IsAnyRead a => IsAnyWrite a => IsAnyFence a")
+        assert isinstance(f, ast.Implies)
+        assert isinstance(f.conclusion, ast.Implies)
+
+    def test_negation(self):
+        f = parse_formula("~SameMicroop a b")
+        assert isinstance(f, ast.Not)
+        assert isinstance(f.body, ast.Predicate)
+
+    def test_quantifier_with_multiple_names(self):
+        f = parse_formula('forall microops "a1", "a2", SameCore a1 a2')
+        assert isinstance(f, ast.Quantifier)
+        assert f.names == ("a1", "a2")
+        assert f.domain == "microop"
+
+    def test_core_quantifier(self):
+        f = parse_formula('forall cores "c", OnCore c a')
+        assert f.domain == "core"
+
+    def test_nested_quantifier_in_conjunction(self):
+        f = parse_formula(
+            'IsAnyRead i /\\ forall microop "w", (IsAnyWrite w => SameAddress w i)'
+        )
+        assert isinstance(f, ast.And)
+
+    def test_edge_with_label_and_colour(self):
+        f = parse_formula('AddEdge ((i, Writeback), (w, Writeback), "fr", "red")')
+        assert isinstance(f, ast.AddEdge)
+        assert f.edge.label == "fr"
+        assert f.edge.colour == "red"
+
+    def test_edges_exist_list(self):
+        f = parse_formula(
+            'EdgesExist [((w, Writeback), (x, Writeback), "");'
+            ' ((x, Writeback), (i, Writeback), "")]'
+        )
+        assert isinstance(f, ast.EdgesExist)
+        assert len(f.edges) == 2
+
+    def test_node_exists(self):
+        f = parse_formula("NodeExists (i, Fetch)")
+        assert isinstance(f, ast.NodeExists)
+        assert f.node.stage == "Fetch"
+
+    def test_expand_macro_with_args(self):
+        f = parse_formula("ExpandMacro STBFwd w i")
+        assert isinstance(f, ast.ExpandMacro)
+        assert [a.name for a in f.args] == ["w", "i"]
+
+    def test_truth_literals(self):
+        assert parse_formula("True") == ast.Truth(True)
+        assert parse_formula("False") == ast.Truth(False)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(UspecSyntaxError):
+            parse_formula("IsAnyRead a extra ) junk")
+
+    def test_predicate_without_args_rejected(self):
+        with pytest.raises(UspecSyntaxError):
+            parse_formula("IsAnyRead /\\ IsAnyWrite a")
+
+    def test_figure_3b_axiom_parses(self):
+        # The WB_FIFO axiom exactly as printed in paper Figure 3b
+        # (modulo the paper's elided core binding).
+        source = """
+        Axiom "WB_FIFO":
+        forall cores "c",
+        forall microops "a1", "a2",
+        (OnCore c a1 /\\ OnCore c a2 /\\
+         ~SameMicroop a1 a2 /\\ ProgramOrder a1 a2) =>
+        EdgeExists ((a1, DecodeExecute), (a2, DecodeExecute)) =>
+        AddEdge ((a1, Writeback), (a2, Writeback)).
+        """
+        model = parse_uspec('Stages "DecodeExecute", "Writeback".\n' + source)
+        assert model.axiom("WB_FIFO")
+
+
+class TestModelParsing:
+    def test_stages_declaration(self):
+        model = parse_uspec('Stages "IF", "DX", "WB".')
+        assert model.stages == ["IF", "DX", "WB"]
+        assert model.stage_index("DX") == 1
+
+    def test_macro_with_params(self):
+        model = parse_uspec(
+            'DefineMacro "M" "a" "b": SameAddress a b.'
+        )
+        macro = model.macro("M")
+        assert macro.params == ("a", "b")
+
+    def test_unknown_macro_lookup(self):
+        model = parse_uspec('Stages "S".')
+        with pytest.raises(KeyError):
+            model.macro("missing")
+
+    def test_bad_toplevel_rejected(self):
+        with pytest.raises(UspecSyntaxError):
+            parse_uspec("Bogus thing")
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(UspecSyntaxError):
+            parse_uspec('Stages "A"')
+
+
+class TestBundledModel:
+    def test_multi_vscale_model_loads(self):
+        model = multi_vscale_model()
+        assert model.stages == ["Fetch", "DecodeExecute", "Writeback"]
+        names = [a.name for a in model.axioms]
+        assert "WB_FIFO" in names
+        assert "Read_Values" in names
+        assert "DX_Total_Order" in names
+
+    def test_figure5_macros_present(self):
+        model = multi_vscale_model()
+        for name in ("NoInterveningWrite", "BeforeAllWrites", "BeforeOrAfterEveryWrite"):
+            assert model.macro(name)
+
+    def test_model_source_contains_figure5_axiom(self):
+        assert "Read_Values" in model_source("multi_vscale")
+
+    def test_model_is_cached(self):
+        assert multi_vscale_model() is multi_vscale_model()

@@ -1,0 +1,215 @@
+"""Tests for the V-scale core pipeline and the Multi-V-scale SoC."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RtlError
+from repro.isa import encode, Halt, Lw, Sw
+from repro.litmus import Outcome, LitmusTest, compile_test, get_test, load, store
+from repro.memodel import enumerate_sc_outcomes
+from repro.rtl import Simulator
+from repro.vscale import (
+    DMEM_LOAD,
+    DMEM_NONE,
+    DMEM_STORE,
+    MultiVScale,
+    VScaleCore,
+    core_base_pc,
+    imem_base_word,
+)
+
+
+def run_to_drain(soc, schedule, max_cycles=80):
+    sim = Simulator(soc)
+    it = iter(schedule)
+    for _ in range(max_cycles):
+        sim.step({"arb_select": next(it, 0)})
+        if soc.drained():
+            return sim
+    raise AssertionError("SoC did not drain")
+
+
+class TestAddressMap:
+    def test_core_base_pcs_skip_word_zero(self):
+        assert core_base_pc(0) == 4
+        assert imem_base_word(0) == 1
+        assert core_base_pc(1) == 4 * imem_base_word(1)
+
+    def test_pc_zero_reserved_for_bubbles(self):
+        # No instruction may live at PC 0: PC_WB == 0 marks a bubble.
+        for core in range(4):
+            assert core_base_pc(core) != 0
+
+
+class TestSingleCore:
+    def test_ssl_executes_store_then_load(self):
+        compiled = compile_test(get_test("ssl"))
+        soc = MultiVScale(compiled, "fixed")
+        sim = run_to_drain(soc, [0] * 40)
+        # ssl: [x] <- 1; r1 <- [x].  SC requires r1 == 1.
+        assert soc.register_results() == {"r1": 1}
+        assert soc.memory_results() == {"x": 1}
+
+    def test_halt_stops_fetch_and_quiesces(self):
+        compiled = compile_test(get_test("ssl"))
+        soc = MultiVScale(compiled, "fixed")
+        sim = run_to_drain(soc, [0] * 40)
+        snap = soc.snapshot()
+        sim.step({"arb_select": 2})
+        # After draining, only the arbiter registers may change.
+        for core in soc.cores:
+            assert core.halted
+            assert not core.dx_valid and not core.wb_valid
+
+    def test_pc_wb_zero_during_bubble(self):
+        compiled = compile_test(get_test("mp"))
+        soc = MultiVScale(compiled, "fixed")
+        sim = Simulator(soc)
+        frame = sim.step({"arb_select": 0})
+        # Pipeline is empty right after reset: WB holds a bubble.
+        assert frame["core[0].PC_WB"] == 0
+
+    def test_fetch_past_end_raises(self):
+        core = VScaleCore(0, [encode(Sw(rs1=1, rs2=2))])  # no halt!
+        view = core.dx_view()
+        core.tick(view, stall_dx=False, load_data=0)
+        with pytest.raises(RtlError):
+            for _ in range(4):
+                core.tick(core.dx_view(), stall_dx=False, load_data=0)
+
+
+class TestStallBehaviour:
+    def test_ungranted_memory_op_stalls_in_dx(self):
+        compiled = compile_test(get_test("mp"))
+        soc = MultiVScale(compiled, "fixed")
+        sim = Simulator(soc)
+        # Grant core 3 (idle) forever; cores 0/1 must stall at their
+        # first memory op.
+        for _ in range(6):
+            frame = sim.step({"arb_select": 3})
+        assert frame["core[0].stall_DX"] == 1
+        assert frame["core[0].dmem_type_DX"] == DMEM_STORE
+        assert frame["core[1].stall_DX"] == 1
+        assert frame["core[1].dmem_type_DX"] == DMEM_LOAD
+
+    def test_stalled_core_makes_no_progress(self):
+        compiled = compile_test(get_test("mp"))
+        soc = MultiVScale(compiled, "fixed")
+        sim = Simulator(soc)
+        for _ in range(10):
+            sim.step({"arb_select": 3})
+        assert soc.memory_results() == {"x": 0, "y": 0}
+        assert not soc.cores[0].halted
+
+    def test_granted_core_proceeds(self):
+        compiled = compile_test(get_test("mp"))
+        soc = MultiVScale(compiled, "fixed")
+        sim = Simulator(soc)
+        for _ in range(12):
+            sim.step({"arb_select": 0})
+        # Core 0's two stores complete; memory holds x=1, y=1.
+        assert soc.memory_results() == {"x": 1, "y": 1}
+
+
+class TestArbiter:
+    def test_grant_register_delays_one_cycle(self):
+        compiled = compile_test(get_test("mp"))
+        soc = MultiVScale(compiled, "fixed")
+        sim = Simulator(soc)
+        frame = sim.step({"arb_select": 2})
+        assert frame["arbiter.cur_core"] == 0  # reset value
+        frame = sim.step({"arb_select": 1})
+        assert frame["arbiter.cur_core"] == 2
+        assert frame["arbiter.prev_core"] == 0
+
+    def test_select_wraps_modulo_cores(self):
+        from repro.vscale.arbiter import Arbiter
+
+        arb = Arbiter(4)
+        arb.tick(7)
+        assert arb.cur_core == 3
+
+
+class TestSoCOutcomes:
+    def test_fixed_memory_produces_only_sc_outcomes_mp(self):
+        test = get_test("mp")
+        compiled = compile_test(test)
+        sc_regs = {dict(f[0]) for f in ()}
+        sc = enumerate_sc_outcomes(test)
+        allowed = {tuple(sorted(dict(f[0]).items())) for f in sc}
+        rng = random.Random(42)
+        soc = MultiVScale(compiled, "fixed")
+        for _ in range(120):
+            soc.reset()
+            sim = run_to_drain(soc, [rng.randrange(4) for _ in range(80)])
+            key = tuple(sorted(soc.register_results().items()))
+            assert key in allowed
+
+    def test_buggy_memory_can_violate_sc_on_mp(self):
+        test = get_test("mp")
+        compiled = compile_test(test)
+        soc = MultiVScale(compiled, "buggy")
+        rng = random.Random(0)
+        seen = set()
+        for _ in range(3000):
+            soc.reset()
+            sim = run_to_drain(soc, [rng.randrange(4) for _ in range(80)])
+            seen.add(tuple(sorted(soc.register_results().items())))
+            if (("r1", 1), ("r2", 0)) in seen:
+                break
+        assert (("r1", 1), ("r2", 0)) in seen  # the forbidden outcome
+
+    def test_register_results_cover_all_loads(self):
+        compiled = compile_test(get_test("iriw"))
+        soc = MultiVScale(compiled, "fixed")
+        run_to_drain(soc, [0, 1, 2, 2, 3, 3] + [0] * 40)
+        assert set(soc.register_results()) == {"r1", "r2", "r3", "r4"}
+
+    def test_unknown_memory_variant_rejected(self):
+        with pytest.raises(RtlError):
+            MultiVScale(compile_test(get_test("mp")), "broken")
+
+    def test_tick_requires_eval(self):
+        soc = MultiVScale(compile_test(get_test("mp")), "fixed")
+        with pytest.raises(RtlError):
+            soc.tick()
+
+
+class TestSnapshotDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=20))
+    def test_restore_replays_identically(self, schedule):
+        compiled = compile_test(get_test("sb"))
+        soc = MultiVScale(compiled, "fixed")
+        frames = []
+        for select in schedule:
+            frames.append(soc.eval_comb({"arb_select": select}))
+            soc.tick()
+        snap = soc.snapshot()
+        soc.reset()
+        for select in schedule:
+            frame = soc.eval_comb({"arb_select": select})
+            soc.tick()
+        assert soc.snapshot() == snap
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=5, max_size=30))
+    def test_frames_deterministic_from_snapshot(self, schedule):
+        compiled = compile_test(get_test("lb"))
+        soc = MultiVScale(compiled, "buggy")
+        mid = len(schedule) // 2
+        for select in schedule[:mid]:
+            soc.eval_comb({"arb_select": select})
+            soc.tick()
+        snap = soc.snapshot()
+        tail_frames = []
+        for select in schedule[mid:]:
+            tail_frames.append(soc.eval_comb({"arb_select": select}))
+            soc.tick()
+        soc.restore(snap)
+        for select, expected in zip(schedule[mid:], tail_frames):
+            assert soc.eval_comb({"arb_select": select}) == expected
+            soc.tick()
