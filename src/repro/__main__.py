@@ -13,8 +13,9 @@ Commands
     End-to-end RTLCheck verification of one test.
 ``microarch <test>``
     Check-style µhb verification at the microarchitecture level.
-``suite [--memory ...] [--config ...]``
-    Verify the whole 56-test suite and print a summary table.
+``suite [--memory ...] [--config ...] [--jobs N] [--only TEST ...]``
+    Verify the 56-test suite (or a subset) and print a summary table;
+    ``--jobs N`` verifies tests in parallel worker processes.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ from repro.litmus import compile_test
 from repro.memodel import sc_allowed
 from repro.uhb import microarch_observable
 from repro.uspec import multi_vscale_model
+from repro.verifier.config import DEFAULT_SUITE_JOBS
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -41,6 +43,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         choices=sorted(CONFIGS),
         default="Full_Proof",
         help="verifier engine configuration (default: Full_Proof)",
+    )
+    parser.add_argument(
+        "--explorer",
+        choices=["graph", "per-property"],
+        default="graph",
+        help="explorer backend: shared reachability graph (default) or "
+        "the per-property re-exploring explorer",
     )
 
 
@@ -93,6 +102,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     suite = sub.add_parser("suite", help="verify the whole suite")
     _add_common(suite)
+    suite.add_argument(
+        "--jobs",
+        type=int,
+        default=DEFAULT_SUITE_JOBS,
+        metavar="N",
+        help="verify N tests in parallel worker processes (default: 1)",
+    )
+    suite.add_argument(
+        "--only",
+        nargs="+",
+        metavar="TEST",
+        help="restrict the run to these test names (e.g. CI smoke runs)",
+    )
     return parser
 
 
@@ -141,7 +163,10 @@ def cmd_generate(args) -> int:
 
 
 def cmd_verify(args) -> int:
-    rtlcheck = RTLCheck(config=CONFIGS[args.config])
+    rtlcheck = RTLCheck(
+        config=CONFIGS[args.config],
+        use_reach_graph=(args.explorer == "graph"),
+    )
     result = rtlcheck.verify_test(
         get_test(args.test),
         memory_variant=args.memory,
@@ -177,10 +202,19 @@ def cmd_lint(args) -> int:
 
 
 def cmd_suite(args) -> int:
-    rtlcheck = RTLCheck(config=CONFIGS[args.config])
+    rtlcheck = RTLCheck(
+        config=CONFIGS[args.config],
+        use_reach_graph=(args.explorer == "graph"),
+    )
+    tests = paper_suite()
+    if args.only:
+        tests = [get_test(name) for name in args.only]
+    results = rtlcheck.verify_suite(
+        tests, memory_variant=args.memory, jobs=args.jobs
+    )
     failures = 0
-    for test in paper_suite():
-        result = rtlcheck.verify_test(test, memory_variant=args.memory)
+    for test in tests:
+        result = results[test.name]
         print(result.summary())
         failures += result.bug_found
     if failures:

@@ -19,6 +19,8 @@ class PropertyResult:
     name: str
     verdict: EngineVerdict
     ground_truth: ExplorationResult
+    #: Wall-clock seconds the explorer spent on this property.
+    check_seconds: float = 0.0
 
     @property
     def status(self) -> str:
@@ -55,6 +57,21 @@ class TestVerification:
     verified_by_cover: bool
     properties: List[PropertyResult] = field(default_factory=list)
     wall_seconds: float = 0.0
+    # -- phase profiling (wall-clock, not modeled hours) ----------------
+    #: Covering-trace phase seconds (includes any graph building the
+    #: cover walk triggered).
+    cover_seconds: float = 0.0
+    #: Property-check phase seconds (all assertions).
+    proof_seconds: float = 0.0
+    #: Seconds spent simulating design transitions into the shared
+    #: reachability graph (0.0 under the per-property explorer).
+    graph_build_seconds: float = 0.0
+    #: Design states discovered in the shared graph (0 under the
+    #: per-property explorer).
+    graph_states: int = 0
+    #: Design transitions actually simulated — the cache-miss work all
+    #: property walks shared (0 under the per-property explorer).
+    graph_transitions: int = 0
 
     # -- aggregate views -------------------------------------------------
 

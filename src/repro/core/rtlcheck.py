@@ -15,12 +15,15 @@ a litmus test, and the program/node mapping functions.  RTLCheck
 
 from __future__ import annotations
 
+import pickle
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.assertions import AssertionGenerator
 from repro.core.results import PropertyResult, TestVerification
+from repro.errors import ReproError
 from repro.litmus.test import CompiledTest, LitmusTest, compile_test
 from repro.mapping.node_mapping import MultiVScaleNodeMapping
 from repro.mapping.program_mapping import MultiVScaleProgramMapping
@@ -29,10 +32,37 @@ from repro.sva.emit import emit_sva_file
 from repro.sva.monitor import AssumptionChecker, PropertyMonitor
 from repro.uspec.ast import Model
 from repro.uspec.model import load_model, multi_vscale_model
-from repro.verifier.config import EXPLORER_BUDGET, FULL_PROOF, VerifierConfig
+from repro.verifier.config import (
+    EXPLORER_BUDGET,
+    FULL_PROOF,
+    USE_REACH_GRAPH,
+    VerifierConfig,
+)
 from repro.verifier.engines import EngineModel
 from repro.verifier.explorer import Explorer
+from repro.verifier.reach import GraphExplorer
 from repro.vscale.soc import MultiVScale
+
+
+def _multi_vscale_design_factory(compiled, variant):
+    """Default design factory (module-level so RTLCheck pickles for
+    multi-process suite verification)."""
+    return MultiVScale(compiled, variant)
+
+
+def _multi_vscale_tso_design_factory(compiled, variant):
+    """Design factory for :meth:`RTLCheck.for_tso` (module-level so the
+    TSO-configured RTLCheck pickles too)."""
+    from repro.vscale.tso import MultiVScaleTSO
+
+    # "buggy" selects the seeded LIFO-drain store buffer.
+    drain = "lifo" if variant == "buggy" else "fifo"
+    return MultiVScaleTSO(compiled, drain_order=drain)
+
+
+def _verify_suite_worker(rtlcheck: "RTLCheck", test, memory_variant):
+    """Module-level task body for the suite process pool."""
+    return rtlcheck.verify_test(test, memory_variant)
 
 
 @dataclass
@@ -63,31 +93,25 @@ class RTLCheck:
         design_factory=None,
         node_mapping_factory=MultiVScaleNodeMapping,
         program_mapping_factory=MultiVScaleProgramMapping,
+        use_reach_graph: bool = USE_REACH_GRAPH,
     ):
         self.model = model or multi_vscale_model()
         self.config = config
-        self.design_factory = design_factory or (
-            lambda compiled, variant: MultiVScale(compiled, variant)
-        )
+        self.design_factory = design_factory or _multi_vscale_design_factory
         self.node_mapping_factory = node_mapping_factory
         self.program_mapping_factory = program_mapping_factory
+        self.use_reach_graph = use_reach_graph
 
     @classmethod
     def for_tso(cls, config: VerifierConfig = FULL_PROOF) -> "RTLCheck":
         """RTLCheck configured for Multi-V-scale-TSO: the store-buffer
         design, its µspec model, and the Memory-stage node mapping."""
         from repro.mapping.tso_mapping import MultiVScaleTsoNodeMapping
-        from repro.vscale.tso import MultiVScaleTSO
-
-        def factory(compiled, variant):
-            # "buggy" selects the seeded LIFO-drain store buffer.
-            drain = "lifo" if variant == "buggy" else "fifo"
-            return MultiVScaleTSO(compiled, drain_order=drain)
 
         return cls(
             model=load_model("multi_vscale_tso"),
             config=config,
-            design_factory=factory,
+            design_factory=_multi_vscale_tso_design_factory,
             node_mapping_factory=MultiVScaleTsoNodeMapping,
         )
 
@@ -131,7 +155,13 @@ class RTLCheck:
         generated = self.generate(test)
         design = self.design_factory(generated.compiled, memory_variant)
         checker = AssumptionChecker(generated.assumptions)
-        explorer = Explorer(design, checker)
+        if self.use_reach_graph:
+            # The design's assumption-constrained state space is explored
+            # once into a shared graph; the cover run and every property
+            # walk below replay it without re-simulating.
+            explorer = GraphExplorer(design, checker)
+        else:
+            explorer = Explorer(design, checker)
         engine_model = EngineModel(self.config)
 
         # Phase 1: covering traces for the assumptions (§4.1).
@@ -156,12 +186,15 @@ class RTLCheck:
             cover=cover,
             cover_hours=cover_hours,
             verified_by_cover=verified_by_cover,
+            cover_seconds=cover.seconds,
         )
         if verified_by_cover:
+            self._record_graph_stats(result, explorer)
             result.wall_seconds = time.perf_counter() - wall_start
             return result
 
         # Phase 2: prove each generated assertion.
+        proof_start = time.perf_counter()
         for directive in generated.assertions:
             monitor = PropertyMonitor(directive)
             ground_truth = explorer.check_property(monitor, EXPLORER_BUDGET)
@@ -171,17 +204,58 @@ class RTLCheck:
                     name=directive.name,
                     verdict=verdict,
                     ground_truth=ground_truth,
+                    check_seconds=ground_truth.seconds,
                 )
             )
+        result.proof_seconds = time.perf_counter() - proof_start
+        self._record_graph_stats(result, explorer)
         result.wall_seconds = time.perf_counter() - wall_start
         return result
+
+    @staticmethod
+    def _record_graph_stats(result: TestVerification, explorer) -> None:
+        graph = getattr(explorer, "graph", None)
+        if graph is None:
+            return
+        result.graph_build_seconds = graph.build_seconds
+        result.graph_states = graph.num_nodes
+        result.graph_transitions = graph.sim_transitions
 
     def verify_suite(
         self,
         tests: List[LitmusTest],
         memory_variant: str = "fixed",
+        jobs: int = 1,
     ) -> Dict[str, TestVerification]:
-        """Verify a suite; returns results keyed by test name."""
+        """Verify a suite; returns results keyed by test name, in suite
+        order.  ``jobs > 1`` fans tests out over a process pool (tests
+        are fully independent)."""
+        seen = set()
+        for test in tests:
+            if test.name in seen:
+                raise ReproError(
+                    f"duplicate test name {test.name!r} in suite: results "
+                    "are keyed by name, a duplicate would be dropped"
+                )
+            seen.add(test.name)
+        if jobs > 1 and len(tests) > 1:
+            try:
+                pickle.dumps(self)
+            except Exception as exc:
+                raise ReproError(
+                    "verify_suite(jobs>1) needs a picklable RTLCheck; "
+                    "custom factories must be module-level callables "
+                    f"({exc})"
+                ) from exc
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    pool.submit(_verify_suite_worker, self, test, memory_variant)
+                    for test in tests
+                ]
+                return {
+                    test.name: future.result()
+                    for test, future in zip(tests, futures)
+                }
         return {
             test.name: self.verify_test(test, memory_variant) for test in tests
         }

@@ -74,6 +74,9 @@ class PropertyMonitor:
         self.nfas: List[Nfa] = []
         self.nodes: List[_Node] = []
         self.root = self._build(body)
+        # The three-valued verdict is a pure function of the leaf-status
+        # tuple; explorers query it once per transition, so memoize.
+        self._verdict_cache: dict = {}
         for nfa in self.nfas:
             if nfa.starts_accepting():
                 raise SvaError(
@@ -153,7 +156,12 @@ class PropertyMonitor:
     def verdict(self, state: Tuple) -> Optional[bool]:
         """Three-valued verdict of the anchored attempt so far."""
         _states, status = state
-        return self._eval(self.root, status)
+        cache = self._verdict_cache
+        if status in cache:
+            return cache[status]
+        result = self._eval(self.root, status)
+        cache[status] = result
+        return result
 
     def resolve_at_quiescence(self, state: Tuple, frame: Frame) -> bool:
         """Final verdict when the design has quiesced and ``frame``

@@ -42,9 +42,20 @@ class Nfa:
     def step(self, states: FrozenSet[int], frame: Frame) -> FrozenSet[int]:
         """Advance one frame."""
         nxt: Set[int] = set()
+        # Epsilon elimination duplicates predicates across states, so
+        # memoize each (pure) predicate's value for this frame.
+        values: Dict[int, bool] = {}
+        transitions = self.transitions
         for state in states:
-            for expr, target in self.transitions.get(state, ()):
-                if target not in nxt and expr.evaluate(frame):
+            for expr, target in transitions.get(state, ()):
+                if target in nxt:
+                    continue
+                key = id(expr)
+                value = values.get(key)
+                if value is None:
+                    value = bool(expr.evaluate(frame))
+                    values[key] = value
+                if value:
                     nxt.add(target)
         return frozenset(nxt)
 

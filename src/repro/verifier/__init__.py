@@ -12,6 +12,7 @@ from repro.verifier.explorer import (
     UNKNOWN,
     UNREACHABLE,
 )
+from repro.verifier.reach import GraphExplorer, ReachGraph
 
 __all__ = [
     "BOUNDED",
@@ -19,8 +20,10 @@ __all__ = [
     "ExplorationResult",
     "Explorer",
     "FAILED",
+    "GraphExplorer",
     "PROVEN",
     "REACHABLE",
+    "ReachGraph",
     "UNKNOWN",
     "UNREACHABLE",
     "SimulationReport",

@@ -135,17 +135,20 @@ class EngineModel:
         ``result`` is the explorer's ground truth (it exhausted the
         product space or found a counterexample).
         """
-        cost = proof_hours(result.transitions)
         if result.verdict == FAILED:
             # Counterexamples live at shallow depth; every engine finds
-            # them quickly.
+            # them quickly.  Price only the transitions actually spent
+            # up to the failing layer (the explorer stopped there), not
+            # a hypothetical full exploration.
+            spent = _transitions_spent(result)
             return EngineVerdict(
                 status=FAILED,
                 bound=result.depth_completed,
                 engine=self.config.engines[0].name,
-                modeled_hours=min(cost, self.config.proof_hours),
+                modeled_hours=min(proof_hours(spent), self.config.proof_hours),
                 transitions=result.transitions,
             )
+        cost = proof_hours(result.transitions)
         # Inductive convergence (autoprover-style engines): a shallow
         # saturation diameter lets k-induction close the proof outright.
         for engine in self.config.engines:
@@ -193,6 +196,16 @@ class EngineModel:
             modeled_hours=self.config.proof_hours,
             transitions=result.transitions,
         )
+
+
+def _transitions_spent(result: ExplorationResult) -> int:
+    """Transitions the explorer actually evaluated through
+    ``depth_completed``, from the per-layer work profile (which includes
+    the interrupted final layer's partial work).  Falls back to the raw
+    total when no profile was recorded."""
+    if result.layer_transitions:
+        return sum(result.layer_transitions[: result.depth_completed])
+    return result.transitions
 
 
 def _depth_within(result: ExplorationResult, affordable_transitions: float) -> int:

@@ -22,6 +22,7 @@ this input" (§5.2).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
@@ -61,8 +62,12 @@ class ExplorationResult:
     fired_assumptions: Set[str] = field(default_factory=set)
     exhausted: bool = False
     #: Transitions evaluated per BFS layer (work profile for the engine
-    #: model's bounded-proof depth accounting).
+    #: model's bounded-proof depth accounting).  On early exits (cex or
+    #: budget) the final entry records the interrupted layer's partial
+    #: work, so ``sum(layer_transitions) == transitions`` always holds.
     layer_transitions: List[int] = field(default_factory=list)
+    #: Wall-clock seconds this exploration took (phase profiling).
+    seconds: float = 0.0
 
     @property
     def bound(self) -> int:
@@ -87,6 +92,7 @@ class Explorer:
         self, monitor: PropertyMonitor, budget: Budget
     ) -> ExplorationResult:
         """Verify one assertion against all assumption-satisfying traces."""
+        start = time.perf_counter()
         root_rtl = self._reset_root()
         root = (root_rtl, monitor.initial())
         visited = {root}
@@ -98,10 +104,11 @@ class Explorer:
         depth = 0
 
         while frontier:
-            if depth >= budget.max_depth or len(visited) > budget.max_states:
+            if depth >= budget.max_depth:
                 result.verdict = BOUNDED
                 result.depth_completed = depth
                 result.states_explored = len(visited)
+                result.seconds = time.perf_counter() - start
                 return result
             next_frontier: List[Tuple[Hashable, Tuple]] = []
             first = 1 if depth == 0 else 0
@@ -117,7 +124,6 @@ class Explorer:
                     new_mon = monitor.step(mon_state, frame)
                     verdict = monitor.verdict(new_mon)
                     if verdict is False:
-                        self.design.tick()
                         trace = self._rebuild_trace(
                             parents, (rtl_state, mon_state)
                         )
@@ -126,12 +132,27 @@ class Explorer:
                         result.depth_completed = depth + 1
                         result.states_explored = len(visited)
                         result.counterexample = trace
+                        result.layer_transitions.append(
+                            result.transitions - layer_start
+                        )
+                        result.seconds = time.perf_counter() - start
                         return result
                     if verdict is True:
                         continue  # every extension satisfies the property
                     self.design.tick()
                     child = (self.design.snapshot(), new_mon)
                     if child not in visited:
+                        # Budget check per expansion, not per layer: a
+                        # wide layer must not blow past the state cap.
+                        if len(visited) >= budget.max_states:
+                            result.verdict = BOUNDED
+                            result.depth_completed = depth
+                            result.states_explored = len(visited)
+                            result.layer_transitions.append(
+                                result.transitions - layer_start
+                            )
+                            result.seconds = time.perf_counter() - start
+                            return result
                         visited.add(child)
                         parents[child] = ((rtl_state, mon_state), dict(inputs), frame)
                         next_frontier.append(child)
@@ -143,6 +164,7 @@ class Explorer:
         result.exhausted = True
         result.depth_completed = depth
         result.states_explored = len(visited)
+        result.seconds = time.perf_counter() - start
         return result
 
     # ------------------------------------------------------------------
@@ -152,6 +174,7 @@ class Explorer:
         satisfying traces, recording which assumptions' antecedents fire
         with their consequents enforceable.  If exploration exhausts and
         an assumption never fired, that assumption is *unreachable*."""
+        start = time.perf_counter()
         root = self._reset_root()
         visited = {root}
         frontier = [root]
@@ -160,10 +183,11 @@ class Explorer:
         checks = self.assumptions.checks
 
         while frontier:
-            if depth >= budget.max_depth or len(visited) > budget.max_states:
+            if depth >= budget.max_depth:
                 result.verdict = UNKNOWN
                 result.depth_completed = depth
                 result.states_explored = len(visited)
+                result.seconds = time.perf_counter() - start
                 return result
             next_frontier = []
             first = 1 if depth == 0 else 0
@@ -182,6 +206,15 @@ class Explorer:
                     self.design.tick()
                     child = self.design.snapshot()
                     if child not in visited:
+                        if len(visited) >= budget.max_states:
+                            result.verdict = UNKNOWN
+                            result.depth_completed = depth
+                            result.states_explored = len(visited)
+                            result.layer_transitions.append(
+                                result.transitions - layer_start
+                            )
+                            result.seconds = time.perf_counter() - start
+                            return result
                         visited.add(child)
                         next_frontier.append(child)
             result.layer_transitions.append(result.transitions - layer_start)
@@ -192,6 +225,7 @@ class Explorer:
         result.exhausted = True
         result.depth_completed = depth
         result.states_explored = len(visited)
+        result.seconds = time.perf_counter() - start
         return result
 
     # ------------------------------------------------------------------

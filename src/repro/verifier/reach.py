@@ -1,0 +1,316 @@
+"""Shared reachability-graph cache for the property verifier.
+
+:class:`repro.verifier.explorer.Explorer` re-simulates the design for
+every property it checks, even though the assumption-constrained RTL
+transition relation is identical across all properties of one
+(test, memory variant) pair — only the monitor component of the product
+differs.  :class:`ReachGraph` explores the design side **once**,
+memoizing each state's per-input ``(frame, successor)`` transitions
+into an explicit graph, and :class:`GraphExplorer` then verifies every
+:class:`~repro.sva.monitor.PropertyMonitor` as a product walk over the
+cached edges — no ``restore`` / ``eval_comb`` / ``tick`` calls after a
+node's first expansion, and ``cover_assumptions`` is a free read of the
+same graph once it has been built.
+
+Equivalence guarantee
+---------------------
+
+``GraphExplorer`` reproduces :class:`Explorer` *bit for bit*: the same
+verdicts, ``depth_completed`` bounds, ``states_explored``,
+``transitions``, per-layer work profiles, fired assumptions, and
+counterexample traces.  This matters because the engine model
+(:mod:`repro.verifier.engines`) consumes ``transitions`` and
+``layer_transitions`` to model JasperGold hours, so the cached path
+replays the walk's would-be transition counts — including the pruned
+branches the per-property explorer pays for — keeping the Figure 13/14
+numbers identical.  ``tests/test_reach_equivalence.py`` cross-checks
+the two explorers over the full 56-test suite.
+
+Three details make the replay exact:
+
+* Nodes are keyed by ``(snapshot, first)`` because the auto-generated
+  ``first`` signal makes the root cycle's frames (and hence assumption
+  pruning) differ from any later visit to the same snapshot.  Only the
+  root carries ``first=1``; child lookups always use ``first=0``, so a
+  re-reached reset snapshot becomes a distinct ``first=0`` node.
+* Product-walk ``visited`` sets are keyed by the *snapshot* (not the
+  node id), matching the per-property explorer's deduplication.
+* Expansion is lazy: a node's edges are simulated on first access, so
+  a budget-truncated walk expands exactly the design states it touches
+  and budgets behave identically.
+
+Cached frames are shared between the graph and every result that
+references them (counterexample traces included); treat them as
+read-only.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.rtl.design import Design, Frame
+from repro.sva.monitor import AssumptionChecker, PropertyMonitor
+from repro.verifier.explorer import (
+    BOUNDED,
+    Budget,
+    ExplorationResult,
+    Explorer,
+    FAILED,
+    PROVEN,
+    REACHABLE,
+    UNKNOWN,
+)
+
+#: One outgoing transition: ``None`` when the assumptions prune the
+#: input this cycle, else the settled frame and the successor node id.
+Edge = Optional[Tuple[Frame, int]]
+
+
+class ReachGraph:
+    """Lazily-built graph of the assumption-satisfying design states.
+
+    Nodes are ``(snapshot, first)`` pairs; node 0 is the reset state
+    with ``first=1``.  :meth:`successors` simulates a node's per-input
+    transitions on first access and caches them, so the design work for
+    one (test, memory variant) is paid at most once no matter how many
+    property walks run on top.
+    """
+
+    root = 0
+
+    def __init__(self, design: Design, assumptions: AssumptionChecker):
+        self.design = design
+        self.assumptions = assumptions
+        self.input_space = design.input_space()
+        design.reset()
+        root_key = (design.snapshot(), 1)
+        self._keys: List[Tuple[Hashable, int]] = [root_key]
+        self._ids: Dict[Tuple[Hashable, int], int] = {root_key: 0}
+        self._edges: List[Optional[List[Edge]]] = [None]
+        self._live: List[Optional[List[Tuple[int, Dict[str, int], Frame, int]]]] = [
+            None
+        ]
+        #: Design evaluations actually simulated (cache misses only).
+        self.sim_transitions = 0
+        #: Wall-clock seconds spent simulating (graph-build time).
+        self.build_seconds = 0.0
+
+    # ------------------------------------------------------------------
+
+    def snap(self, node: int) -> Hashable:
+        """The design snapshot of ``node`` (the dedup key)."""
+        return self._keys[node][0]
+
+    @property
+    def num_nodes(self) -> int:
+        """Design states discovered so far (expanded or frontier)."""
+        return len(self._keys)
+
+    @property
+    def expanded_nodes(self) -> int:
+        """Design states whose transitions have been simulated."""
+        return sum(1 for edges in self._edges if edges is not None)
+
+    def successors(self, node: int) -> List[Edge]:
+        """Per-input transitions of ``node``, simulated once then cached."""
+        edges = self._edges[node]
+        if edges is None:
+            edges = self._expand(node)
+        return edges
+
+    def live_successors(
+        self, node: int
+    ) -> List[Tuple[int, Dict[str, int], Frame, int]]:
+        """The non-pruned transitions of ``node`` as
+        ``(input_index, inputs, frame, child)`` — the walk's fast path.
+        Input indices let callers account for the pruned edges in
+        between without iterating them."""
+        live = self._live[node]
+        if live is None:
+            inputs = self.input_space
+            live = [
+                (index, inputs[index], edge[0], edge[1])
+                for index, edge in enumerate(self.successors(node))
+                if edge is not None
+            ]
+            self._live[node] = live
+        return live
+
+    # ------------------------------------------------------------------
+
+    def _expand(self, node: int) -> List[Edge]:
+        start = time.perf_counter()
+        snapshot, first = self._keys[node]
+        design = self.design
+        assumptions = self.assumptions
+        edges: List[Edge] = []
+        for inputs in self.input_space:
+            design.restore(snapshot)
+            frame = design.eval_comb(inputs)
+            frame["first"] = first
+            self.sim_transitions += 1
+            if not assumptions.frame_ok(frame):
+                edges.append(None)
+                continue
+            design.tick()
+            child_key = (design.snapshot(), 0)
+            child = self._ids.get(child_key)
+            if child is None:
+                child = len(self._keys)
+                self._ids[child_key] = child
+                self._keys.append(child_key)
+                self._edges.append(None)
+                self._live.append(None)
+            edges.append((frame, child))
+        self._edges[node] = edges
+        self.build_seconds += time.perf_counter() - start
+        return edges
+
+
+class GraphExplorer:
+    """Drop-in replacement for :class:`Explorer` backed by a shared
+    :class:`ReachGraph`.
+
+    Exposes the same ``check_property`` / ``cover_assumptions`` API and
+    produces identical :class:`ExplorationResult` values; the design is
+    simulated only on graph cache misses.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        assumptions: AssumptionChecker,
+        graph: Optional[ReachGraph] = None,
+    ):
+        self.graph = graph if graph is not None else ReachGraph(design, assumptions)
+        self.assumptions = self.graph.assumptions
+        self.input_space = self.graph.input_space
+
+    # ------------------------------------------------------------------
+
+    def check_property(
+        self, monitor: PropertyMonitor, budget: Budget
+    ) -> ExplorationResult:
+        """Verify one assertion as a product walk over the cached graph."""
+        start = time.perf_counter()
+        graph = self.graph
+        root_key = (graph.snap(graph.root), monitor.initial())
+        visited = {root_key}
+        frontier: List[Tuple[int, Tuple]] = [(graph.root, monitor.initial())]
+        parents: Dict[Tuple, Tuple] = {root_key: None}
+        result = ExplorationResult(verdict=UNKNOWN)
+        depth = 0
+
+        while frontier:
+            if depth >= budget.max_depth:
+                result.verdict = BOUNDED
+                result.depth_completed = depth
+                result.states_explored = len(visited)
+                result.seconds = time.perf_counter() - start
+                return result
+            next_frontier: List[Tuple[int, Tuple]] = []
+            layer_start = result.transitions
+            for node, mon_state in frontier:
+                node_key = (graph.snap(node), mon_state)
+                # Fast path: iterate only the live edges; the input index
+                # recovers the per-property explorer's transition count,
+                # which includes the pruned edges in between.
+                base = result.transitions
+                for index, inputs, frame, child_node in graph.live_successors(node):
+                    result.transitions = base + index + 1
+                    new_mon = monitor.step(mon_state, frame)
+                    verdict = monitor.verdict(new_mon)
+                    if verdict is False:
+                        trace = Explorer._rebuild_trace(parents, node_key)
+                        trace.append((dict(inputs), frame))
+                        result.verdict = FAILED
+                        result.depth_completed = depth + 1
+                        result.states_explored = len(visited)
+                        result.counterexample = trace
+                        result.layer_transitions.append(
+                            result.transitions - layer_start
+                        )
+                        result.seconds = time.perf_counter() - start
+                        return result
+                    if verdict is True:
+                        continue  # every extension satisfies the property
+                    child_key = (graph.snap(child_node), new_mon)
+                    if child_key not in visited:
+                        if len(visited) >= budget.max_states:
+                            result.verdict = BOUNDED
+                            result.depth_completed = depth
+                            result.states_explored = len(visited)
+                            result.layer_transitions.append(
+                                result.transitions - layer_start
+                            )
+                            result.seconds = time.perf_counter() - start
+                            return result
+                        visited.add(child_key)
+                        parents[child_key] = (node_key, dict(inputs), frame)
+                        next_frontier.append((child_node, new_mon))
+                result.transitions = base + len(self.input_space)
+            result.layer_transitions.append(result.transitions - layer_start)
+            frontier = next_frontier
+            depth += 1
+
+        result.verdict = PROVEN
+        result.exhausted = True
+        result.depth_completed = depth
+        result.states_explored = len(visited)
+        result.seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+
+    def cover_assumptions(self, budget: Budget) -> ExplorationResult:
+        """Covering-trace search (paper §4.1) as a read of the graph."""
+        start = time.perf_counter()
+        graph = self.graph
+        root_key = graph.snap(graph.root)
+        visited = {root_key}
+        frontier = [graph.root]
+        result = ExplorationResult(verdict=UNKNOWN)
+        depth = 0
+        checks = self.assumptions.checks
+
+        while frontier:
+            if depth >= budget.max_depth:
+                result.verdict = UNKNOWN
+                result.depth_completed = depth
+                result.states_explored = len(visited)
+                result.seconds = time.perf_counter() - start
+                return result
+            next_frontier = []
+            layer_start = result.transitions
+            for node in frontier:
+                base = result.transitions
+                for index, _inputs, frame, child_node in graph.live_successors(node):
+                    result.transitions = base + index + 1
+                    for name, antecedent, _consequent in checks:
+                        if name not in result.fired_assumptions and antecedent.evaluate(frame):
+                            result.fired_assumptions.add(name)
+                    child_key = graph.snap(child_node)
+                    if child_key not in visited:
+                        if len(visited) >= budget.max_states:
+                            result.verdict = UNKNOWN
+                            result.depth_completed = depth
+                            result.states_explored = len(visited)
+                            result.layer_transitions.append(
+                                result.transitions - layer_start
+                            )
+                            result.seconds = time.perf_counter() - start
+                            return result
+                        visited.add(child_key)
+                        next_frontier.append(child_node)
+                result.transitions = base + len(self.input_space)
+            result.layer_transitions.append(result.transitions - layer_start)
+            frontier = next_frontier
+            depth += 1
+
+        result.verdict = REACHABLE
+        result.exhausted = True
+        result.depth_completed = depth
+        result.states_explored = len(visited)
+        result.seconds = time.perf_counter() - start
+        return result

@@ -20,6 +20,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["verify", "mp", "--memory", "flaky"])
 
+    def test_suite_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.jobs == 1
+        assert args.explorer == "graph"
+        assert args.only is None
+
+    def test_suite_jobs_and_subset(self):
+        args = build_parser().parse_args(
+            ["suite", "--jobs", "4", "--only", "mp", "sb"]
+        )
+        assert args.jobs == 4
+        assert args.only == ["mp", "sb"]
+
+    def test_verify_explorer_choice(self):
+        args = build_parser().parse_args(["verify", "mp", "--explorer", "per-property"])
+        assert args.explorer == "per-property"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -58,3 +75,19 @@ class TestCommands:
     def test_microarch(self, capsys):
         assert main(["microarch", "sb"]) == 0
         assert "unobservable" in capsys.readouterr().out
+
+    def test_suite_subset(self, capsys):
+        assert main(["suite", "--only", "mp", "sb"]) == 0
+        out = capsys.readouterr().out
+        assert "mp [fixed]: verified" in out
+        assert "sb [fixed]: verified" in out
+
+    def test_suite_subset_parallel(self, capsys):
+        assert main(["suite", "--only", "mp", "lb", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mp [fixed]: verified" in out
+        assert "lb [fixed]: verified" in out
+
+    def test_suite_per_property_explorer(self, capsys):
+        assert main(["suite", "--only", "mp", "--explorer", "per-property"]) == 0
+        assert "mp [fixed]: verified" in capsys.readouterr().out

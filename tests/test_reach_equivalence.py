@@ -1,0 +1,135 @@
+"""Cross-check: the cached-graph explorer is bit-identical to the
+per-property explorer.
+
+The engine model derives modeled JasperGold hours from the explorer's
+transition counts, so :class:`repro.verifier.reach.GraphExplorer` must
+reproduce :class:`repro.verifier.explorer.Explorer` exactly — verdicts,
+bounds, ``states_explored``, per-layer work profiles, fired
+assumptions, counterexample traces, and the resulting modeled hours —
+or the Figure 13/14 numbers would drift.  These tests prove agreement
+over the full 56-test suite and on the buggy-memory counterexample
+path.
+"""
+
+import pytest
+
+from repro import CONFIGS, RTLCheck, get_test, paper_suite
+from repro.verifier import Budget, Explorer, GraphExplorer
+from repro.verifier.config import EXPLORER_BUDGET
+
+
+def _assert_explorations_equal(graph, seed, context):
+    assert graph.verdict == seed.verdict, context
+    assert graph.depth_completed == seed.depth_completed, context
+    assert graph.states_explored == seed.states_explored, context
+    assert graph.transitions == seed.transitions, context
+    assert graph.layer_transitions == seed.layer_transitions, context
+    assert graph.exhausted == seed.exhausted, context
+    assert graph.fired_assumptions == seed.fired_assumptions, context
+    assert graph.counterexample == seed.counterexample, context
+
+
+def _assert_verifications_equal(graph, seed, name):
+    assert graph.verified_by_cover == seed.verified_by_cover, name
+    assert graph.cover_hours == seed.cover_hours, name
+    _assert_explorations_equal(graph.cover, seed.cover, f"{name}:cover")
+    assert graph.modeled_hours == seed.modeled_hours, name
+    assert [p.name for p in graph.properties] == [
+        p.name for p in seed.properties
+    ], name
+    for g, s in zip(graph.properties, seed.properties):
+        context = f"{name}:{g.name}"
+        assert g.status == s.status, context
+        assert g.verdict.bound == s.verdict.bound, context
+        assert g.verdict.engine == s.verdict.engine, context
+        assert g.verdict.modeled_hours == s.verdict.modeled_hours, context
+        assert g.verdict.transitions == s.verdict.transitions, context
+        _assert_explorations_equal(g.ground_truth, s.ground_truth, context)
+
+
+class TestFullSuiteEquivalence:
+    def test_fixed_design_full_suite(self):
+        """Old and new explorers agree on verdicts, bounds, fired
+        assumptions, and modeled hours for all 56 tests."""
+        graph_rc = RTLCheck(use_reach_graph=True)
+        seed_rc = RTLCheck(use_reach_graph=False)
+        for test in paper_suite():
+            graph = graph_rc.verify_test(test)
+            seed = seed_rc.verify_test(test)
+            _assert_verifications_equal(graph, seed, test.name)
+
+    def test_hybrid_config_sample(self):
+        """The Hybrid engine configuration consumes the same ground
+        truth, so a sample of tests must agree there too."""
+        graph_rc = RTLCheck(config=CONFIGS["Hybrid"], use_reach_graph=True)
+        seed_rc = RTLCheck(config=CONFIGS["Hybrid"], use_reach_graph=False)
+        for name in ["mp", "iwp24", "iriw", "rfi000"]:
+            graph = graph_rc.verify_test(get_test(name))
+            seed = seed_rc.verify_test(get_test(name))
+            _assert_verifications_equal(graph, seed, name)
+
+    def test_buggy_design_counterexamples(self):
+        """Counterexample traces (inputs and frames) replay identically
+        through both explorers on the buggy memory."""
+        graph_rc = RTLCheck(use_reach_graph=True)
+        seed_rc = RTLCheck(use_reach_graph=False)
+        for name in ["mp", "sb", "ssl"]:
+            graph = graph_rc.verify_test(get_test(name), memory_variant="buggy")
+            seed = seed_rc.verify_test(get_test(name), memory_variant="buggy")
+            _assert_verifications_equal(graph, seed, name)
+
+
+class TestExplorerLevelEquivalence:
+    def _pair(self, name, variant="fixed"):
+        from repro.litmus import compile_test
+        from repro.mapping import MultiVScaleProgramMapping
+        from repro.sva import AssumptionChecker
+        from repro.vscale.soc import MultiVScale
+
+        compiled = compile_test(get_test(name))
+        assumptions = MultiVScaleProgramMapping(compiled).all_assumptions()
+        seed = Explorer(
+            MultiVScale(compiled, variant), AssumptionChecker(assumptions)
+        )
+        graph = GraphExplorer(
+            MultiVScale(compiled, variant), AssumptionChecker(assumptions)
+        )
+        return graph, seed
+
+    def test_cover_equivalence(self):
+        graph, seed = self._pair("iwp24")
+        _assert_explorations_equal(
+            graph.cover_assumptions(EXPLORER_BUDGET),
+            seed.cover_assumptions(EXPLORER_BUDGET),
+            "iwp24:cover",
+        )
+
+    @pytest.mark.parametrize(
+        "budget",
+        [
+            Budget(max_states=5, max_depth=3),
+            Budget(max_states=10, max_depth=2),
+            Budget(max_states=2_000_000, max_depth=4),
+        ],
+        ids=["tiny-states", "tiny-both", "depth-only"],
+    )
+    def test_truncated_budgets_agree(self, budget):
+        """Budget-truncated walks stop at the same expansion in both
+        explorers (the graph expands lazily, so a truncated walk never
+        simulates states the per-property explorer would not have)."""
+        graph, seed = self._pair("iwp24")
+        _assert_explorations_equal(
+            graph.cover_assumptions(budget),
+            seed.cover_assumptions(budget),
+            "iwp24:cover-budget",
+        )
+
+    def test_graph_is_reused_across_walks(self):
+        """The second walk over the same GraphExplorer performs zero
+        additional design simulation — the tentpole's whole point."""
+        graph, _seed = self._pair("iwp24")
+        graph.cover_assumptions(EXPLORER_BUDGET)
+        sims_after_cover = graph.graph.sim_transitions
+        assert sims_after_cover > 0
+        graph.cover_assumptions(EXPLORER_BUDGET)
+        assert graph.graph.sim_transitions == sims_after_cover

@@ -130,6 +130,49 @@ class TestSuiteSlice:
         assert set(results) == {"mp", "sb"}
         assert all(r.verified for r in results.values())
 
+    def test_verify_suite_rejects_duplicate_names(self, rtlcheck):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="duplicate test name"):
+            rtlcheck.verify_suite([get_test("mp"), get_test("mp")])
+
+    def test_verify_suite_parallel_matches_serial(self, rtlcheck):
+        tests = [get_test("mp"), get_test("sb"), get_test("iwp24")]
+        serial = rtlcheck.verify_suite(tests)
+        parallel = rtlcheck.verify_suite(tests, jobs=2)
+        assert list(parallel) == list(serial)
+        for name, expected in serial.items():
+            got = parallel[name]
+            assert got.verified == expected.verified
+            assert got.verified_by_cover == expected.verified_by_cover
+            assert got.modeled_hours == expected.modeled_hours
+            assert [p.status for p in got.properties] == [
+                p.status for p in expected.properties
+            ]
+
+    def test_verify_suite_parallel_needs_picklable_factories(self):
+        from repro.errors import ReproError
+        from repro.vscale.soc import MultiVScale
+
+        rtlcheck = RTLCheck(design_factory=lambda c, v: MultiVScale(c, v))
+        with pytest.raises(ReproError, match="picklable"):
+            rtlcheck.verify_suite([get_test("mp"), get_test("sb")], jobs=2)
+
+    def test_phase_counters_populated(self, rtlcheck):
+        result = rtlcheck.verify_test(get_test("iwp24"))
+        assert result.cover_seconds > 0
+        assert result.proof_seconds > 0
+        assert result.graph_states > 0
+        assert result.graph_transitions > 0
+        assert 0 < result.graph_build_seconds < result.wall_seconds
+        assert all(p.check_seconds >= 0 for p in result.properties)
+
+    def test_per_property_explorer_leaves_graph_counters_zero(self):
+        result = RTLCheck(use_reach_graph=False).verify_test(get_test("mp"))
+        assert result.graph_states == 0
+        assert result.graph_transitions == 0
+        assert result.graph_build_seconds == 0.0
+
     @pytest.mark.slow
     def test_full_suite_verifies_on_fixed_design(self, rtlcheck):
         """The paper's headline: after the fix, the multicore V-scale

@@ -18,7 +18,17 @@ from repro.sva import (
     scat,
 )
 from repro.sva.ast import BNot, band, bor
-from repro.verifier import BOUNDED, Budget, Explorer, FAILED, PROVEN
+from repro.rtl.design import Simulator
+from repro.sva.monitor import run_monitor_on_trace
+from repro.verifier import (
+    BOUNDED,
+    Budget,
+    Explorer,
+    FAILED,
+    GraphExplorer,
+    PROVEN,
+    ReachGraph,
+)
 from repro.verifier.config import CONFIGS, EXPLORER_BUDGET, FULL_PROOF, HYBRID
 from repro.verifier.engines import (
     EngineModel,
@@ -32,11 +42,17 @@ from repro.verifier.explorer import ExplorationResult
 from repro.vscale.soc import MultiVScale
 
 
-def make_explorer(test_name, variant="fixed"):
+def make_explorer(test_name, variant="fixed", cls=Explorer):
     compiled = compile_test(get_test(test_name))
     design = MultiVScale(compiled, variant)
     assumptions = MultiVScaleProgramMapping(compiled).all_assumptions()
-    return Explorer(design, AssumptionChecker(assumptions)), compiled
+    return cls(design, AssumptionChecker(assumptions)), compiled
+
+
+@pytest.fixture(params=[Explorer, GraphExplorer], ids=["per-property", "graph"])
+def explorer_cls(request):
+    """Both explorer backends must satisfy the same contract."""
+    return request.param
 
 
 def halted_assert(compiled):
@@ -75,8 +91,8 @@ class TestExplorerProperties:
     # tests, where the load-value assumptions prune every execution
     # before the cores halt).
 
-    def test_proven_property(self):
-        explorer, compiled = make_explorer("iwp24")
+    def test_proven_property(self, explorer_cls):
+        explorer, compiled = make_explorer("iwp24", cls=explorer_cls)
         result = explorer.check_property(
             PropertyMonitor(halted_assert(compiled)), EXPLORER_BUDGET
         )
@@ -85,8 +101,8 @@ class TestExplorerProperties:
         assert result.states_explored > 0
         assert sum(result.layer_transitions) == result.transitions
 
-    def test_failing_property_gives_counterexample(self):
-        explorer, compiled = make_explorer("iwp24")
+    def test_failing_property_gives_counterexample(self, explorer_cls):
+        explorer, compiled = make_explorer("iwp24", cls=explorer_cls)
         result = explorer.check_property(
             PropertyMonitor(never_halts_assert()), EXPLORER_BUDGET
         )
@@ -97,25 +113,25 @@ class TestExplorerProperties:
             assert "arb_select" in inputs
             assert "first" in frame
 
-    def test_bounded_verdict_on_tiny_budget(self):
-        explorer, compiled = make_explorer("iwp24")
+    def test_bounded_verdict_on_tiny_budget(self, explorer_cls):
+        explorer, compiled = make_explorer("iwp24", cls=explorer_cls)
         result = explorer.check_property(
             PropertyMonitor(halted_assert(compiled)), Budget(max_states=5, max_depth=3)
         )
         assert result.verdict == BOUNDED
         assert result.depth_completed <= 3
 
-    def test_const_true_property(self):
-        explorer, _ = make_explorer("iwp24")
+    def test_const_true_property(self, explorer_cls):
+        explorer, _ = make_explorer("iwp24", cls=explorer_cls)
         directive = Directive(kind="assert", name="t", prop=PConst(True))
         result = explorer.check_property(PropertyMonitor(directive), EXPLORER_BUDGET)
         assert result.verdict == PROVEN
 
-    def test_forbidden_outcome_assumptions_prune_all_executions(self):
+    def test_forbidden_outcome_assumptions_prune_all_executions(self, explorer_cls):
         """On a forbidden-outcome test (ssl) the load-value assumption
         prunes every branch at the load's WB, so no core ever halts and
         even a 'core 0 never halts' assertion is (vacuously) proven."""
-        explorer, compiled = make_explorer("ssl")
+        explorer, compiled = make_explorer("ssl", cls=explorer_cls)
         result = explorer.check_property(
             PropertyMonitor(never_halts_assert()), EXPLORER_BUDGET
         )
@@ -145,6 +161,114 @@ class TestExplorerCover:
         result = explorer.cover_assumptions(Budget(max_states=10, max_depth=2))
         assert result.verdict == "unknown"
         assert not result.exhausted
+
+
+class TestBudgetEnforcement:
+    """Regression tests: ``max_states`` is enforced per expansion, not
+    per layer, so a wide layer can no longer blow past the cap and
+    ``states_explored`` reports the true count."""
+
+    def test_states_cap_never_exceeded(self, explorer_cls):
+        explorer, compiled = make_explorer("iwp24", cls=explorer_cls)
+        result = explorer.check_property(
+            PropertyMonitor(halted_assert(compiled)),
+            Budget(max_states=5, max_depth=1000),
+        )
+        assert result.verdict == BOUNDED
+        assert result.states_explored <= 5
+        assert sum(result.layer_transitions) == result.transitions
+
+    def test_cover_states_cap_never_exceeded(self, explorer_cls):
+        explorer, _ = make_explorer("iwp24", cls=explorer_cls)
+        result = explorer.cover_assumptions(Budget(max_states=10, max_depth=2000))
+        assert result.verdict == "unknown"
+        assert not result.exhausted
+        assert result.states_explored <= 10
+
+    def test_wide_layer_regression(self):
+        """iriw's layers are far wider than 50 states; before the fix
+        a single layer overshot the cap by its whole width."""
+        explorer, _ = make_explorer("iriw")
+        result = explorer.cover_assumptions(Budget(max_states=50, max_depth=2000))
+        assert result.states_explored <= 50
+
+    def test_depth_cap_still_reported_at_layer_boundary(self, explorer_cls):
+        explorer, compiled = make_explorer("iwp24", cls=explorer_cls)
+        result = explorer.check_property(
+            PropertyMonitor(halted_assert(compiled)),
+            Budget(max_states=2_000_000, max_depth=3),
+        )
+        assert result.verdict == BOUNDED
+        assert result.depth_completed == 3
+
+
+class TestCounterexampleReplay:
+    def test_rebuilt_trace_replays_through_simulator(self, explorer_cls):
+        """The root-to-failure trace's inputs replay to the same failing
+        frame through a fresh Simulator."""
+        explorer, compiled = make_explorer("iwp24", cls=explorer_cls)
+        monitor = PropertyMonitor(never_halts_assert())
+        result = explorer.check_property(monitor, EXPLORER_BUDGET)
+        assert result.verdict == FAILED
+        sim = Simulator(MultiVScale(compiled, "fixed"))
+        for inputs, frame in result.counterexample:
+            assert sim.step(inputs) == frame
+        # The replayed trace refutes the monitor at the trace's last cycle.
+        verdict, cycle = run_monitor_on_trace(monitor, sim.trace)
+        assert verdict is False
+        assert cycle == len(result.counterexample) - 1
+
+    def test_trace_depth_matches_depth_completed(self, explorer_cls):
+        explorer, _ = make_explorer("iwp24", cls=explorer_cls)
+        result = explorer.check_property(
+            PropertyMonitor(never_halts_assert()), EXPLORER_BUDGET
+        )
+        assert len(result.counterexample) == result.depth_completed
+
+
+class TestReachGraph:
+    def test_lazy_expansion_counts_only_cache_misses(self):
+        explorer, _ = make_explorer("iwp24", cls=GraphExplorer)
+        graph = explorer.graph
+        assert graph.sim_transitions == 0
+        explorer.cover_assumptions(EXPLORER_BUDGET)
+        built = graph.sim_transitions
+        assert built == graph.expanded_nodes * len(graph.input_space)
+        # A second walk (different monitor, same design) is a pure
+        # cache read: zero further design simulation.
+        explorer.check_property(
+            PropertyMonitor(Directive(kind="assert", name="t", prop=PConst(True))),
+            EXPLORER_BUDGET,
+        )
+        assert graph.sim_transitions == built
+
+    def test_graph_shared_between_explorers(self):
+        compiled = compile_test(get_test("mp"))
+        design = MultiVScale(compiled, "fixed")
+        checker = AssumptionChecker(
+            MultiVScaleProgramMapping(compiled).all_assumptions()
+        )
+        graph = ReachGraph(design, checker)
+        first = GraphExplorer(design, checker, graph=graph)
+        first.cover_assumptions(EXPLORER_BUDGET)
+        built = graph.sim_transitions
+        second = GraphExplorer(design, checker, graph=graph)
+        second.cover_assumptions(EXPLORER_BUDGET)
+        assert graph.sim_transitions == built
+
+    def test_root_first_flag_distinct_from_revisits(self):
+        """Node 0 carries first=1; every child lookup uses first=0, so
+        frames cached for the root are never reused for a re-reached
+        reset snapshot."""
+        explorer, _ = make_explorer("mp", cls=GraphExplorer)
+        graph = explorer.graph
+        edges = graph.successors(graph.root)
+        for edge in edges:
+            if edge is not None:
+                assert edge[0]["first"] == 1
+                for child_edge in graph.successors(edge[1]):
+                    if child_edge is not None:
+                        assert child_edge[0]["first"] == 0
 
 
 class TestEngineModel:
@@ -205,6 +329,24 @@ class TestEngineModel:
         verdict = EngineModel(FULL_PROOF).judge_property(result, "p")
         assert verdict.failed
         assert verdict.modeled_hours <= FULL_PROOF.proof_hours
+
+    def test_counterexample_priced_from_layer_profile(self):
+        """Regression: a cex is priced from the transitions actually
+        spent up to the failing layer (via ``layer_transitions``), not
+        from a hypothetical full exploration."""
+        result = ExplorationResult(verdict=FAILED)
+        result.transitions = 5000
+        result.depth_completed = 2
+        result.layer_transitions = [100, 50]
+        verdict = EngineModel(FULL_PROOF).judge_property(result, "p")
+        assert verdict.failed
+        assert verdict.modeled_hours == min(
+            proof_hours(150), FULL_PROOF.proof_hours
+        )
+        # The whole-exploration price would have pinned the allotment.
+        assert verdict.modeled_hours < min(
+            proof_hours(5000), FULL_PROOF.proof_hours
+        )
 
 
 class TestConfigs:
