@@ -14,8 +14,15 @@ Commands
 ``microarch <test>``
     Check-style µhb verification at the microarchitecture level.
 ``suite [--memory ...] [--config ...] [--jobs N] [--only TEST ...]``
-    Verify the 56-test suite (or a subset) and print a summary table;
-    ``--jobs N`` verifies tests in parallel worker processes.
+    Verify the 56-test suite (or a subset) with per-test progress
+    lines; ``--jobs N`` verifies tests in parallel worker processes.
+
+Observability (``verify`` and ``suite``): ``--report FILE`` writes a
+schema-versioned JSON run report (the machine-readable Figures 13/14;
+written even when counterexamples make the command exit non-zero),
+``--trace FILE`` writes a Chrome trace-event file loadable in
+Perfetto, and ``--metrics`` prints the merged observability counters.
+See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -50,6 +57,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="graph",
         help="explorer backend: shared reachability graph (default) or "
         "the per-property re-exploring explorer",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write a schema-versioned JSON run report to FILE",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace-event (Perfetto) file to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the merged observability counters",
     )
 
 
@@ -162,10 +184,48 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def _wants_observability(args) -> bool:
+    return bool(args.report or args.trace or args.metrics)
+
+
+def _emit_observability(args, results, jobs=None) -> None:
+    """Write the report/trace files and print counters as requested.
+
+    Called on every exit path — a bug-finding run still produces its
+    full report before the command returns non-zero.
+    """
+    from repro import obs
+
+    if args.report:
+        obs.write_report(
+            args.report,
+            obs.suite_report(
+                results,
+                config_name=args.config,
+                memory_variant=args.memory,
+                jobs=jobs,
+            ),
+        )
+        print(f"wrote run report to {args.report}")
+    if args.trace:
+        obs.write_chrome_trace(
+            args.trace, {name: r.obs for name, r in results.items()}
+        )
+        print(f"wrote Chrome trace to {args.trace}")
+    if args.metrics:
+        counters = obs.merge_counters(
+            [r.obs or {} for r in results.values()]
+        )
+        print("\ncounters:")
+        for name in sorted(counters):
+            print(f"  {name:40s} {counters[name]:.0f}")
+
+
 def cmd_verify(args) -> int:
     rtlcheck = RTLCheck(
         config=CONFIGS[args.config],
         use_reach_graph=(args.explorer == "graph"),
+        observe=_wants_observability(args),
     )
     result = rtlcheck.verify_test(
         get_test(args.test),
@@ -176,6 +236,7 @@ def cmd_verify(args) -> int:
     for prop in result.properties:
         extra = f" (bound {prop.verdict.bound})" if prop.status == "bounded" else ""
         print(f"  {prop.name}: {prop.status}{extra}")
+    _emit_observability(args, {result.test.name: result}, jobs=1)
     return 1 if result.bug_found else 0
 
 
@@ -205,18 +266,25 @@ def cmd_suite(args) -> int:
     rtlcheck = RTLCheck(
         config=CONFIGS[args.config],
         use_reach_graph=(args.explorer == "graph"),
+        observe=_wants_observability(args),
     )
     tests = paper_suite()
     if args.only:
         tests = [get_test(name) for name in args.only]
+    total = len(tests)
+    done = [0]
+
+    def progress(result):
+        done[0] += 1
+        print(f"[{done[0]}/{total}] {result.summary()}", flush=True)
+
     results = rtlcheck.verify_suite(
-        tests, memory_variant=args.memory, jobs=args.jobs
+        tests, memory_variant=args.memory, jobs=args.jobs, progress=progress
     )
-    failures = 0
-    for test in tests:
-        result = results[test.name]
-        print(result.summary())
-        failures += result.bug_found
+    failures = sum(results[test.name].bug_found for test in tests)
+    # Observability artifacts are written before the exit code is
+    # decided, so bug-finding runs still produce their full report.
+    _emit_observability(args, results, jobs=args.jobs)
     if failures:
         print(f"\n{failures} tests produced counterexamples")
     return 1 if failures else 0

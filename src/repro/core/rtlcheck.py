@@ -11,16 +11,28 @@ a litmus test, and the program/node mapping functions.  RTLCheck
    traces for the assumptions (an unreachable final-value assumption
    verifies the test outright) and then proves each assertion,
    reporting complete proofs, bounded proofs, or counterexamples.
+
+Every phase runs inside a :mod:`repro.obs` span — generate, cover,
+graph-build, proof, plus one span per property — and the span
+durations *are* the timing fields on :class:`TestVerification`
+(``generation_seconds``, ``cover_seconds``, ``proof_seconds``,
+``wall_seconds``), so observability on/off cannot change their
+meaning.  With ``observe=True`` each test records into its own
+:class:`~repro.obs.TraceRecorder`, whose snapshot travels back on
+``TestVerification.obs`` — including across the ``verify_suite``
+process pool — so suite-level counters always equal the sum of the
+per-test counters regardless of job count.
 """
 
 from __future__ import annotations
 
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.core.assertions import AssertionGenerator
 from repro.core.results import PropertyResult, TestVerification
 from repro.errors import ReproError
@@ -84,6 +96,9 @@ class RTLCheck:
     The design and mapping factories default to the paper's SC case
     study; :meth:`for_tso` wires up the store-buffer (x86-TSO) variant
     instead — RTLCheck itself is model- and design-agnostic (Figure 7).
+    ``observe=True`` records spans and counters per test
+    (:mod:`repro.obs`) and attaches the recorder snapshot to each
+    result's ``obs`` field.
     """
 
     def __init__(
@@ -94,6 +109,7 @@ class RTLCheck:
         node_mapping_factory=MultiVScaleNodeMapping,
         program_mapping_factory=MultiVScaleProgramMapping,
         use_reach_graph: bool = USE_REACH_GRAPH,
+        observe: bool = False,
     ):
         self.model = model or multi_vscale_model()
         self.config = config
@@ -101,9 +117,12 @@ class RTLCheck:
         self.node_mapping_factory = node_mapping_factory
         self.program_mapping_factory = program_mapping_factory
         self.use_reach_graph = use_reach_graph
+        self.observe = observe
 
     @classmethod
-    def for_tso(cls, config: VerifierConfig = FULL_PROOF) -> "RTLCheck":
+    def for_tso(
+        cls, config: VerifierConfig = FULL_PROOF, observe: bool = False
+    ) -> "RTLCheck":
         """RTLCheck configured for Multi-V-scale-TSO: the store-buffer
         design, its µspec model, and the Memory-stage node mapping."""
         from repro.mapping.tso_mapping import MultiVScaleTsoNodeMapping
@@ -113,6 +132,7 @@ class RTLCheck:
             config=config,
             design_factory=_multi_vscale_tso_design_factory,
             node_mapping_factory=MultiVScaleTsoNodeMapping,
+            observe=observe,
         )
 
     # ------------------------------------------------------------------
@@ -121,22 +141,25 @@ class RTLCheck:
 
     def generate(self, test: LitmusTest) -> GeneratedProperties:
         """Run the Assumption and Assertion Generators for ``test``."""
-        start = time.perf_counter()
-        compiled = compile_test(test)
-        program_mapping = self.program_mapping_factory(compiled)
-        node_mapping = self.node_mapping_factory(compiled)
-        assumptions = program_mapping.all_assumptions()
-        assertions = AssertionGenerator(
-            model=self.model, compiled=compiled, node_mapping=node_mapping
-        ).generate()
-        sva_text = emit_sva_file(test.name, assumptions + assertions)
-        elapsed = time.perf_counter() - start
+        with obs.span("generate", test=test.name) as span:
+            compiled = compile_test(test)
+            program_mapping = self.program_mapping_factory(compiled)
+            node_mapping = self.node_mapping_factory(compiled)
+            assumptions = program_mapping.all_assumptions()
+            assertions = AssertionGenerator(
+                model=self.model, compiled=compiled, node_mapping=node_mapping
+            ).generate()
+            sva_text = emit_sva_file(test.name, assumptions + assertions)
+        recorder = obs.get_recorder()
+        if recorder.enabled:
+            recorder.count("generator.assumptions", len(assumptions))
+            recorder.count("generator.assertions", len(assertions))
         return GeneratedProperties(
             compiled=compiled,
             assumptions=assumptions,
             assertions=assertions,
             sva_text=sva_text,
-            generation_seconds=elapsed,
+            generation_seconds=span.seconds,
         )
 
     # ------------------------------------------------------------------
@@ -150,86 +173,171 @@ class RTLCheck:
         skip_cover_shortcut: bool = False,
     ) -> TestVerification:
         """Generate properties for ``test`` and verify them against the
-        chosen Multi-V-scale memory variant."""
-        wall_start = time.perf_counter()
-        generated = self.generate(test)
-        design = self.design_factory(generated.compiled, memory_variant)
-        checker = AssumptionChecker(generated.assumptions)
-        if self.use_reach_graph:
-            # The design's assumption-constrained state space is explored
-            # once into a shared graph; the cover run and every property
-            # walk below replay it without re-simulating.
-            explorer = GraphExplorer(design, checker)
-        else:
-            explorer = Explorer(design, checker)
-        engine_model = EngineModel(self.config)
+        chosen Multi-V-scale memory variant.
 
-        # Phase 1: covering traces for the assumptions (§4.1).
-        cover = explorer.cover_assumptions(EXPLORER_BUDGET)
-        cover_hours = engine_model.cover_hours(cover)
-        cover_conclusive = engine_model.cover_conclusive(cover)
-        final_unreachable = (
-            cover.exhausted and "final_values" not in cover.fired_assumptions
-        )
-        verified_by_cover = (
-            not skip_cover_shortcut and cover_conclusive and final_unreachable
-        )
+        With ``observe=True`` the run records into a fresh per-test
+        :class:`~repro.obs.TraceRecorder`; its snapshot is attached as
+        ``result.obs``.
+        """
+        if not self.observe:
+            return self._verify_test(test, memory_variant, skip_cover_shortcut)
+        recorder = obs.TraceRecorder()
+        with obs.use_recorder(recorder):
+            result = self._verify_test(test, memory_variant, skip_cover_shortcut)
+        result.obs = recorder.to_state()
+        return result
 
-        result = TestVerification(
-            test=test,
-            memory_variant=memory_variant,
-            config_name=self.config.name,
-            assumptions=generated.assumptions,
-            assertions=generated.assertions,
-            sva_text=generated.sva_text,
-            generation_seconds=generated.generation_seconds,
-            cover=cover,
-            cover_hours=cover_hours,
-            verified_by_cover=verified_by_cover,
-            cover_seconds=cover.seconds,
-        )
-        if verified_by_cover:
-            self._record_graph_stats(result, explorer)
-            result.wall_seconds = time.perf_counter() - wall_start
-            return result
+    def _verify_test(
+        self,
+        test: LitmusTest,
+        memory_variant: str,
+        skip_cover_shortcut: bool,
+    ) -> TestVerification:
+        recorder = obs.get_recorder()
+        with obs.span(
+            "verify_test",
+            test=test.name,
+            memory=memory_variant,
+            config=self.config.name,
+        ) as wall:
+            generated = self.generate(test)
+            design = self.design_factory(generated.compiled, memory_variant)
+            checker = AssumptionChecker(generated.assumptions)
+            if self.use_reach_graph:
+                # The design's assumption-constrained state space is
+                # explored once into a shared graph; the cover run and
+                # every property walk below replay it without
+                # re-simulating.
+                explorer = GraphExplorer(design, checker)
+            else:
+                explorer = Explorer(design, checker)
+            engine_model = EngineModel(self.config)
 
-        # Phase 2: prove each generated assertion.
-        proof_start = time.perf_counter()
-        for directive in generated.assertions:
-            monitor = PropertyMonitor(directive)
-            ground_truth = explorer.check_property(monitor, EXPLORER_BUDGET)
-            verdict = engine_model.judge_property(ground_truth, directive.name)
-            result.properties.append(
-                PropertyResult(
-                    name=directive.name,
-                    verdict=verdict,
-                    ground_truth=ground_truth,
-                    check_seconds=ground_truth.seconds,
-                )
+            # Phase 1: covering traces for the assumptions (§4.1).
+            cover = explorer.cover_assumptions(EXPLORER_BUDGET)
+            cover_hours = engine_model.cover_hours(cover)
+            cover_conclusive = engine_model.cover_conclusive(cover)
+            final_unreachable = (
+                cover.exhausted and "final_values" not in cover.fired_assumptions
             )
-        result.proof_seconds = time.perf_counter() - proof_start
-        self._record_graph_stats(result, explorer)
-        result.wall_seconds = time.perf_counter() - wall_start
+            verified_by_cover = (
+                not skip_cover_shortcut and cover_conclusive and final_unreachable
+            )
+
+            result = TestVerification(
+                test=test,
+                memory_variant=memory_variant,
+                config_name=self.config.name,
+                assumptions=generated.assumptions,
+                assertions=generated.assertions,
+                sva_text=generated.sva_text,
+                generation_seconds=generated.generation_seconds,
+                cover=cover,
+                cover_hours=cover_hours,
+                verified_by_cover=verified_by_cover,
+                cover_seconds=cover.seconds,
+            )
+
+            # Phase 2: prove each generated assertion (skipped when the
+            # covering run discharged the test outright).
+            if verified_by_cover:
+                if recorder.enabled:
+                    # Keep one span per pipeline phase per test: record
+                    # the skipped proof phase as a zero-length span.
+                    recorder.add_span(
+                        "proof",
+                        time.perf_counter(),
+                        0.0,
+                        test=test.name,
+                        skipped_by_cover=True,
+                    )
+            else:
+                with obs.span("proof", test=test.name) as proof_span:
+                    for directive in generated.assertions:
+                        monitor = PropertyMonitor(directive)
+                        ground_truth = explorer.check_property(
+                            monitor, EXPLORER_BUDGET
+                        )
+                        verdict = engine_model.judge_property(
+                            ground_truth, directive.name
+                        )
+                        result.properties.append(
+                            PropertyResult(
+                                name=directive.name,
+                                verdict=verdict,
+                                ground_truth=ground_truth,
+                                check_seconds=ground_truth.seconds,
+                            )
+                        )
+                        if recorder.enabled:
+                            self._flush_monitor_counters(recorder, monitor)
+                result.proof_seconds = proof_span.seconds
+
+            self._record_graph_stats(result, explorer, recorder, wall)
+            if recorder.enabled:
+                recorder.count(
+                    "assumptions.antecedent_firings", checker.antecedent_firings
+                )
+                recorder.count("assumptions.pruned_frames", checker.pruned_frames)
+                recorder.count(
+                    "cover.fired_assumptions", len(cover.fired_assumptions)
+                )
+        result.wall_seconds = wall.seconds
         return result
 
     @staticmethod
-    def _record_graph_stats(result: TestVerification, explorer) -> None:
+    def _flush_monitor_counters(recorder, monitor: PropertyMonitor) -> None:
+        """Fold one property monitor's memo accumulators into the
+        recorder (monitors are per-property, so flush after each check)."""
+        recorder.count("monitor.verdict_memo_hits", monitor.verdict_memo_hits)
+        recorder.count("monitor.verdict_memo_misses", monitor.verdict_memo_misses)
+        recorder.count(
+            "nfa.predicate_memo_hits", sum(n.memo_hits for n in monitor.nfas)
+        )
+        recorder.count(
+            "nfa.predicate_memo_misses", sum(n.memo_misses for n in monitor.nfas)
+        )
+
+    @staticmethod
+    def _record_graph_stats(
+        result: TestVerification, explorer, recorder=None, wall=None
+    ) -> None:
         graph = getattr(explorer, "graph", None)
         if graph is None:
             return
         result.graph_build_seconds = graph.build_seconds
         result.graph_states = graph.num_nodes
         result.graph_transitions = graph.sim_transitions
+        if recorder is None or not recorder.enabled:
+            return
+        recorder.count("reach.sim_transitions", graph.sim_transitions)
+        recorder.count("reach.cache_hits", graph.cache_hits)
+        recorder.count("rtl.frames_simulated", graph.sim_transitions)
+        recorder.gauge("reach.graph_states", graph.num_nodes)
+        recorder.gauge("reach.expanded_nodes", graph.expanded_nodes)
+        if wall is not None:
+            # The graph is built lazily inside the cover and property
+            # walks; surface its accumulated simulation time as one
+            # synthetic span anchored at the walk phase's start.
+            recorder.add_span(
+                "graph-build",
+                wall.start,
+                graph.build_seconds,
+                test=result.test.name,
+            )
 
     def verify_suite(
         self,
         tests: List[LitmusTest],
         memory_variant: str = "fixed",
         jobs: int = 1,
+        progress: Optional[Callable[[TestVerification], None]] = None,
     ) -> Dict[str, TestVerification]:
         """Verify a suite; returns results keyed by test name, in suite
         order.  ``jobs > 1`` fans tests out over a process pool (tests
-        are fully independent)."""
+        are fully independent).  ``progress``, when given, is called
+        with each :class:`TestVerification` as it completes — in
+        completion order for parallel runs."""
         seen = set()
         for test in tests:
             if test.name in seen:
@@ -248,14 +356,23 @@ class RTLCheck:
                     f"({exc})"
                 ) from exc
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = [
-                    pool.submit(_verify_suite_worker, self, test, memory_variant)
+                futures = {
+                    pool.submit(
+                        _verify_suite_worker, self, test, memory_variant
+                    ): test.name
                     for test in tests
-                ]
-                return {
-                    test.name: future.result()
-                    for test, future in zip(tests, futures)
                 }
-        return {
-            test.name: self.verify_test(test, memory_variant) for test in tests
-        }
+                completed: Dict[str, TestVerification] = {}
+                for future in as_completed(futures):
+                    result = future.result()
+                    completed[futures[future]] = result
+                    if progress is not None:
+                        progress(result)
+                return {test.name: completed[test.name] for test in tests}
+        results: Dict[str, TestVerification] = {}
+        for test in tests:
+            result = self.verify_test(test, memory_variant)
+            results[test.name] = result
+            if progress is not None:
+                progress(result)
+        return results

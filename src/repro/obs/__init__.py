@@ -1,0 +1,54 @@
+"""`repro.obs` — observability for the RTLCheck pipeline.
+
+Span-based tracing, named counters/gauges, Chrome trace export, and
+schema-versioned JSON run reports.  See ``docs/observability.md``.
+
+The module-level :func:`span` / :func:`count` / :func:`gauge` helpers
+write to the currently installed recorder (a no-op
+:class:`NullRecorder` unless a caller installs a
+:class:`TraceRecorder` via :func:`use_recorder`), so instrumented code
+costs almost nothing when observability is off.
+"""
+
+from repro.obs.export import chrome_trace, write_chrome_trace
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    TraceRecorder,
+    count,
+    gauge,
+    get_recorder,
+    merge_states,
+    set_recorder,
+    span,
+    use_recorder,
+)
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    merge_counters,
+    suite_report,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "SCHEMA_VERSION",
+    "Span",
+    "TraceRecorder",
+    "chrome_trace",
+    "count",
+    "gauge",
+    "get_recorder",
+    "merge_counters",
+    "merge_states",
+    "set_recorder",
+    "span",
+    "suite_report",
+    "use_recorder",
+    "validate_report",
+    "write_chrome_trace",
+    "write_report",
+]

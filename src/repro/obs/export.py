@@ -1,0 +1,63 @@
+"""Chrome trace-event export (loadable in Perfetto / chrome://tracing).
+
+The exporter consumes per-test recorder snapshots
+(:meth:`repro.obs.recorder.TraceRecorder.to_state`) keyed by a track
+name — for a suite run, the litmus test name — and renders each as one
+thread (track) of a single-process Chrome trace.  Span timestamps are
+relative to each test's own recorder, so every track starts near zero,
+which makes per-phase comparison across tests immediate.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+#: Chrome trace timestamps are integer-ish microseconds.
+_US = 1e6
+
+
+def chrome_trace(states: Mapping[str, Optional[Mapping[str, Any]]]) -> Dict[str, Any]:
+    """Render recorder snapshots as a Chrome trace-event document.
+
+    ``states`` maps track names to :meth:`TraceRecorder.to_state`
+    snapshots (``None`` entries — tests run without observability — are
+    skipped).  Each track gets a ``thread_name`` metadata event plus one
+    complete (``"ph": "X"``) event per recorded span.
+    """
+    events = []
+    for tid, (track, state) in enumerate(sorted(states.items()), start=1):
+        if state is None:
+            continue
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+        for event in state.get("events", ()):
+            events.append(
+                {
+                    "name": event["name"],
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": round(event["ts"] * _US, 3),
+                    "dur": round(event["dur"] * _US, 3),
+                    "pid": 1,
+                    "tid": tid,
+                    "args": event.get("args", {}),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, states: Mapping[str, Optional[Mapping[str, Any]]]
+) -> None:
+    """Write :func:`chrome_trace` output as JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(states), handle, indent=1)
+        handle.write("\n")

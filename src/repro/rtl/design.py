@@ -25,6 +25,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
 
+from repro import obs
 from repro.errors import RtlError
 
 #: A settled cycle's signal values.
@@ -101,6 +102,7 @@ class Simulator:
         self.design.tick()
         self.trace.append(frame)
         self.cycle += 1
+        obs.count("rtl.frames_simulated")
         return frame
 
     def run(

@@ -77,6 +77,10 @@ class PropertyMonitor:
         # The three-valued verdict is a pure function of the leaf-status
         # tuple; explorers query it once per transition, so memoize.
         self._verdict_cache: dict = {}
+        #: Verdict-memo economics, flushed to ``repro.obs`` counters by
+        #: the RTLCheck flow after each property check.
+        self.verdict_memo_hits = 0
+        self.verdict_memo_misses = 0
         for nfa in self.nfas:
             if nfa.starts_accepting():
                 raise SvaError(
@@ -158,7 +162,9 @@ class PropertyMonitor:
         _states, status = state
         cache = self._verdict_cache
         if status in cache:
+            self.verdict_memo_hits += 1
             return cache[status]
+        self.verdict_memo_misses += 1
         result = self._eval(self.root, status)
         cache[status] = result
         return result
@@ -189,6 +195,11 @@ class AssumptionChecker:
     def __init__(self, directives: Sequence[Directive]):
         self.checks: List[Tuple[str, BoolExpr, Property]] = []
         self.directives = list(directives)
+        #: Observability accumulators (flushed to ``repro.obs`` counters
+        #: by the RTLCheck flow): antecedent firings seen while checking
+        #: frames, and frames pruned by a violated consequent.
+        self.antecedent_firings = 0
+        self.pruned_frames = 0
         for d in directives:
             if d.structural:
                 continue
@@ -203,9 +214,15 @@ class AssumptionChecker:
     def frame_ok(self, frame: Frame) -> bool:
         """True unless some assumption's antecedent fires this cycle with
         a false consequent."""
+        fired = 0
         for _name, antecedent, consequent in self.checks:
-            if antecedent.evaluate(frame) and not _bool_property(consequent, frame):
-                return False
+            if antecedent.evaluate(frame):
+                fired += 1
+                if not _bool_property(consequent, frame):
+                    self.antecedent_firings += fired
+                    self.pruned_frames += 1
+                    return False
+        self.antecedent_firings += fired
         return True
 
     def violated_names(self, frame: Frame) -> List[str]:

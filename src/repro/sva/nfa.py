@@ -35,6 +35,10 @@ class Nfa:
     start_states: FrozenSet[int]
     accepting: FrozenSet[int]
     transitions: Dict[int, List[Tuple[BoolExpr, int]]]
+    #: Predicate-memo economics, accumulated across :meth:`step` calls
+    #: and flushed to ``repro.obs`` counters by the RTLCheck flow.
+    memo_hits: int = 0
+    memo_misses: int = 0
 
     def initial(self) -> FrozenSet[int]:
         return self.start_states
@@ -46,6 +50,7 @@ class Nfa:
         # memoize each (pure) predicate's value for this frame.
         values: Dict[int, bool] = {}
         transitions = self.transitions
+        hits = misses = 0
         for state in states:
             for expr, target in transitions.get(state, ()):
                 if target in nxt:
@@ -55,8 +60,13 @@ class Nfa:
                 if value is None:
                     value = bool(expr.evaluate(frame))
                     values[key] = value
+                    misses += 1
+                else:
+                    hits += 1
                 if value:
                     nxt.add(target)
+        self.memo_hits += hits
+        self.memo_misses += misses
         return frozenset(nxt)
 
     def accepts(self, states: FrozenSet[int]) -> bool:

@@ -34,6 +34,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.verifier.config import VerifierConfig
 from repro.verifier.explorer import (
     BOUNDED,
@@ -135,6 +136,13 @@ class EngineModel:
         ``result`` is the explorer's ground truth (it exhausted the
         product space or found a counterexample).
         """
+        verdict = self._judge_property(result, property_name)
+        obs.count(f"engine.verdict.{verdict.status}")
+        return verdict
+
+    def _judge_property(
+        self, result: ExplorationResult, property_name: str
+    ) -> EngineVerdict:
         if result.verdict == FAILED:
             # Counterexamples live at shallow depth; every engine finds
             # them quickly.  Price only the transitions actually spent

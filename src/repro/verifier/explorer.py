@@ -18,14 +18,20 @@ Assumptions prune a branch only in the cycle their consequent is
 violated (no future-violation checking — §3.1), and the search over the
 free arbiter input reproduces "JasperGold tries all possibilities for
 this input" (§5.2).
+
+Timing and metrics are routed through :mod:`repro.obs`: every public
+walk runs inside a span whose duration becomes the result's
+``seconds`` field, and walk-level counters (transitions, states,
+frames simulated) are flushed to the active recorder — a no-op unless
+a :class:`~repro.obs.TraceRecorder` is installed.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.rtl.design import Design, Frame
 from repro.sva.monitor import AssumptionChecker, PropertyMonitor
 
@@ -73,8 +79,103 @@ class ExplorationResult:
     def bound(self) -> int:
         return self.depth_completed
 
+    # -- serialization (run reports) -----------------------------------
 
-class Explorer:
+    def to_dict(self) -> Dict:
+        """JSON-safe snapshot (frames and inputs are str->int maps)."""
+        return {
+            "verdict": self.verdict,
+            "depth_completed": self.depth_completed,
+            "states_explored": self.states_explored,
+            "transitions": self.transitions,
+            "counterexample": (
+                None
+                if self.counterexample is None
+                else [[dict(i), dict(f)] for i, f in self.counterexample]
+            ),
+            "fired_assumptions": sorted(self.fired_assumptions),
+            "exhausted": self.exhausted,
+            "layer_transitions": list(self.layer_transitions),
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExplorationResult":
+        cex = data.get("counterexample")
+        return cls(
+            verdict=data["verdict"],
+            depth_completed=data["depth_completed"],
+            states_explored=data["states_explored"],
+            transitions=data["transitions"],
+            counterexample=(
+                None if cex is None else [(dict(i), dict(f)) for i, f in cex]
+            ),
+            fired_assumptions=set(data["fired_assumptions"]),
+            exhausted=data["exhausted"],
+            layer_transitions=list(data["layer_transitions"]),
+            seconds=data["seconds"],
+        )
+
+
+class InstrumentedExplorer:
+    """Shared public API of the explorer backends.
+
+    Wraps the walk bodies (``_check_property`` / ``_cover_assumptions``)
+    in :mod:`repro.obs` spans — the span duration *is* the result's
+    ``seconds`` field — and flushes walk-level counters.  Subclasses
+    with ``_simulates_frames`` set evaluate the design once per
+    transition, so their transition count doubles as the RTL kernel's
+    frames-simulated counter; the graph-backed explorer reports its
+    simulation work through its :class:`~repro.verifier.reach.ReachGraph`
+    instead.
+    """
+
+    #: Does every walked transition simulate an RTL frame?
+    _simulates_frames = True
+
+    def check_property(
+        self, monitor: PropertyMonitor, budget: Budget
+    ) -> ExplorationResult:
+        """Verify one assertion against all assumption-satisfying traces."""
+        with obs.span("property", property=monitor.directive.name) as walk:
+            result = self._check_property(monitor, budget)
+        result.seconds = walk.seconds
+        self._flush_walk_counters(result, kind="property")
+        return result
+
+    def cover_assumptions(self, budget: Budget) -> ExplorationResult:
+        """Covering-trace search (paper §4.1): explore all assumption-
+        satisfying traces, recording which assumptions' antecedents fire
+        with their consequents enforceable.  If exploration exhausts and
+        an assumption never fired, that assumption is *unreachable*."""
+        with obs.span("cover") as walk:
+            result = self._cover_assumptions(budget)
+        result.seconds = walk.seconds
+        self._flush_walk_counters(result, kind="cover")
+        return result
+
+    def _flush_walk_counters(self, result: ExplorationResult, kind: str) -> None:
+        recorder = obs.get_recorder()
+        if not recorder.enabled:
+            return
+        recorder.count(f"explorer.{kind}_walks", 1)
+        recorder.count("explorer.transitions", result.transitions)
+        recorder.count("explorer.states_explored", result.states_explored)
+        if self._simulates_frames:
+            recorder.count("rtl.frames_simulated", result.transitions)
+
+    # -- subclass responsibilities -------------------------------------
+
+    def _check_property(
+        self, monitor: PropertyMonitor, budget: Budget
+    ) -> ExplorationResult:
+        raise NotImplementedError
+
+    def _cover_assumptions(self, budget: Budget) -> ExplorationResult:
+        raise NotImplementedError
+
+
+class Explorer(InstrumentedExplorer):
     """Breadth-first product-space exploration for one design."""
 
     def __init__(self, design: Design, assumptions: AssumptionChecker):
@@ -88,11 +189,9 @@ class Explorer:
         self.design.reset()
         return self.design.snapshot()
 
-    def check_property(
+    def _check_property(
         self, monitor: PropertyMonitor, budget: Budget
     ) -> ExplorationResult:
-        """Verify one assertion against all assumption-satisfying traces."""
-        start = time.perf_counter()
         root_rtl = self._reset_root()
         root = (root_rtl, monitor.initial())
         visited = {root}
@@ -108,7 +207,6 @@ class Explorer:
                 result.verdict = BOUNDED
                 result.depth_completed = depth
                 result.states_explored = len(visited)
-                result.seconds = time.perf_counter() - start
                 return result
             next_frontier: List[Tuple[Hashable, Tuple]] = []
             first = 1 if depth == 0 else 0
@@ -135,7 +233,6 @@ class Explorer:
                         result.layer_transitions.append(
                             result.transitions - layer_start
                         )
-                        result.seconds = time.perf_counter() - start
                         return result
                     if verdict is True:
                         continue  # every extension satisfies the property
@@ -151,7 +248,6 @@ class Explorer:
                             result.layer_transitions.append(
                                 result.transitions - layer_start
                             )
-                            result.seconds = time.perf_counter() - start
                             return result
                         visited.add(child)
                         parents[child] = ((rtl_state, mon_state), dict(inputs), frame)
@@ -164,17 +260,11 @@ class Explorer:
         result.exhausted = True
         result.depth_completed = depth
         result.states_explored = len(visited)
-        result.seconds = time.perf_counter() - start
         return result
 
     # ------------------------------------------------------------------
 
-    def cover_assumptions(self, budget: Budget) -> ExplorationResult:
-        """Covering-trace search (paper §4.1): explore all assumption-
-        satisfying traces, recording which assumptions' antecedents fire
-        with their consequents enforceable.  If exploration exhausts and
-        an assumption never fired, that assumption is *unreachable*."""
-        start = time.perf_counter()
+    def _cover_assumptions(self, budget: Budget) -> ExplorationResult:
         root = self._reset_root()
         visited = {root}
         frontier = [root]
@@ -187,7 +277,6 @@ class Explorer:
                 result.verdict = UNKNOWN
                 result.depth_completed = depth
                 result.states_explored = len(visited)
-                result.seconds = time.perf_counter() - start
                 return result
             next_frontier = []
             first = 1 if depth == 0 else 0
@@ -213,7 +302,6 @@ class Explorer:
                             result.layer_transitions.append(
                                 result.transitions - layer_start
                             )
-                            result.seconds = time.perf_counter() - start
                             return result
                         visited.add(child)
                         next_frontier.append(child)
@@ -225,7 +313,6 @@ class Explorer:
         result.exhausted = True
         result.depth_completed = depth
         result.states_explored = len(visited)
-        result.seconds = time.perf_counter() - start
         return result
 
     # ------------------------------------------------------------------

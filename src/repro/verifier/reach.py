@@ -42,6 +42,11 @@ Three details make the replay exact:
 Cached frames are shared between the graph and every result that
 references them (counterexample traces included); treat them as
 read-only.
+
+The graph's cache economics are observable: ``sim_transitions`` counts
+the design evaluations actually paid (cache misses), ``cache_hits``
+counts node-successor lookups served without simulation, and both are
+flushed to :mod:`repro.obs` counters by the RTLCheck flow.
 """
 
 from __future__ import annotations
@@ -57,6 +62,7 @@ from repro.verifier.explorer import (
     ExplorationResult,
     Explorer,
     FAILED,
+    InstrumentedExplorer,
     PROVEN,
     REACHABLE,
     UNKNOWN,
@@ -93,6 +99,8 @@ class ReachGraph:
         ]
         #: Design evaluations actually simulated (cache misses only).
         self.sim_transitions = 0
+        #: Node-successor lookups served from the cache (no simulation).
+        self.cache_hits = 0
         #: Wall-clock seconds spent simulating (graph-build time).
         self.build_seconds = 0.0
 
@@ -135,6 +143,8 @@ class ReachGraph:
                 if edge is not None
             ]
             self._live[node] = live
+        else:
+            self.cache_hits += 1
         return live
 
     # ------------------------------------------------------------------
@@ -168,14 +178,18 @@ class ReachGraph:
         return edges
 
 
-class GraphExplorer:
+class GraphExplorer(InstrumentedExplorer):
     """Drop-in replacement for :class:`Explorer` backed by a shared
     :class:`ReachGraph`.
 
     Exposes the same ``check_property`` / ``cover_assumptions`` API and
     produces identical :class:`ExplorationResult` values; the design is
-    simulated only on graph cache misses.
+    simulated only on graph cache misses — which is why walked
+    transitions are *not* reported as simulated frames here (the graph
+    reports its own ``sim_transitions``).
     """
+
+    _simulates_frames = False
 
     def __init__(
         self,
@@ -189,11 +203,10 @@ class GraphExplorer:
 
     # ------------------------------------------------------------------
 
-    def check_property(
+    def _check_property(
         self, monitor: PropertyMonitor, budget: Budget
     ) -> ExplorationResult:
         """Verify one assertion as a product walk over the cached graph."""
-        start = time.perf_counter()
         graph = self.graph
         root_key = (graph.snap(graph.root), monitor.initial())
         visited = {root_key}
@@ -207,7 +220,6 @@ class GraphExplorer:
                 result.verdict = BOUNDED
                 result.depth_completed = depth
                 result.states_explored = len(visited)
-                result.seconds = time.perf_counter() - start
                 return result
             next_frontier: List[Tuple[int, Tuple]] = []
             layer_start = result.transitions
@@ -231,7 +243,6 @@ class GraphExplorer:
                         result.layer_transitions.append(
                             result.transitions - layer_start
                         )
-                        result.seconds = time.perf_counter() - start
                         return result
                     if verdict is True:
                         continue  # every extension satisfies the property
@@ -244,7 +255,6 @@ class GraphExplorer:
                             result.layer_transitions.append(
                                 result.transitions - layer_start
                             )
-                            result.seconds = time.perf_counter() - start
                             return result
                         visited.add(child_key)
                         parents[child_key] = (node_key, dict(inputs), frame)
@@ -258,14 +268,12 @@ class GraphExplorer:
         result.exhausted = True
         result.depth_completed = depth
         result.states_explored = len(visited)
-        result.seconds = time.perf_counter() - start
         return result
 
     # ------------------------------------------------------------------
 
-    def cover_assumptions(self, budget: Budget) -> ExplorationResult:
+    def _cover_assumptions(self, budget: Budget) -> ExplorationResult:
         """Covering-trace search (paper §4.1) as a read of the graph."""
-        start = time.perf_counter()
         graph = self.graph
         root_key = graph.snap(graph.root)
         visited = {root_key}
@@ -279,7 +287,6 @@ class GraphExplorer:
                 result.verdict = UNKNOWN
                 result.depth_completed = depth
                 result.states_explored = len(visited)
-                result.seconds = time.perf_counter() - start
                 return result
             next_frontier = []
             layer_start = result.transitions
@@ -299,7 +306,6 @@ class GraphExplorer:
                             result.layer_transitions.append(
                                 result.transitions - layer_start
                             )
-                            result.seconds = time.perf_counter() - start
                             return result
                         visited.add(child_key)
                         next_frontier.append(child_node)
@@ -312,5 +318,4 @@ class GraphExplorer:
         result.exhausted = True
         result.depth_completed = depth
         result.states_explored = len(visited)
-        result.seconds = time.perf_counter() - start
         return result

@@ -146,6 +146,29 @@ class TestVcd:
         idents = {_identifier(i) for i in range(500)}
         assert len(idents) == 500
 
+    def test_negative_values_twos_complement(self):
+        """Negatives render as two's complement at the signal width —
+        a bare "b-101" is not valid VCD."""
+        text = render_vcd([{"x": -1}, {"x": -4}, {"x": 3}])
+        assert "-" not in text.split("$enddefinitions $end")[1]
+        # -1 and -4 need 1 and 3 magnitude bits + sign; 3 needs 2 bits:
+        # width is 3, so -1 -> 111 and -4 -> 100.
+        assert "b111 " in text
+        assert "b100 " in text
+        assert "b11 " in text
+
+    def test_width_capped_at_64(self):
+        from repro.rtl.vcd import _width_for
+
+        assert _width_for([1 << 100]) == 64
+        assert _width_for([0]) == 1
+        assert _width_for([-1]) == 1
+
+    def test_negative_single_bit_signal(self):
+        text = render_vcd([{"flag": 0}, {"flag": -1}])
+        dumped = text.split("$enddefinitions $end")[1]
+        assert "-" not in dumped
+
 
 class TestVerilogEmission:
     @pytest.fixture(scope="class")

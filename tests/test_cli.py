@@ -37,6 +37,21 @@ class TestParser:
         args = build_parser().parse_args(["verify", "mp", "--explorer", "per-property"])
         assert args.explorer == "per-property"
 
+    def test_observability_defaults_off(self):
+        for command in (["verify", "mp"], ["suite"]):
+            args = build_parser().parse_args(command)
+            assert args.report is None
+            assert args.trace is None
+            assert not args.metrics
+
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["suite", "--report", "r.json", "--trace", "t.json", "--metrics"]
+        )
+        assert args.report == "r.json"
+        assert args.trace == "t.json"
+        assert args.metrics
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -91,3 +106,81 @@ class TestCommands:
     def test_suite_per_property_explorer(self, capsys):
         assert main(["suite", "--only", "mp", "--explorer", "per-property"]) == 0
         assert "mp [fixed]: verified" in capsys.readouterr().out
+
+    def test_suite_progress_lines(self, capsys):
+        assert main(["suite", "--only", "mp", "lb"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out
+
+
+class TestObservability:
+    def _load_valid_report(self, path):
+        import json
+
+        from repro.obs import validate_report
+
+        report = json.loads(path.read_text())
+        assert validate_report(report) == []
+        return report
+
+    def test_suite_report_trace_metrics(self, tmp_path, capsys):
+        report_path = tmp_path / "r.json"
+        trace_path = tmp_path / "t.json"
+        assert (
+            main(
+                [
+                    "suite",
+                    "--only",
+                    "mp",
+                    "sb",
+                    "--jobs",
+                    "2",
+                    "--report",
+                    str(report_path),
+                    "--trace",
+                    str(trace_path),
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "reach.cache_hits" in out
+        report = self._load_valid_report(report_path)
+        assert report["jobs"] == 2
+        assert [t["test"] for t in report["tests"]] == ["mp", "sb"]
+        import json
+
+        trace = json.loads(trace_path.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_suite_failure_still_writes_report(self, tmp_path, capsys):
+        """Satellite: a bug-finding run exits 1 but the report is
+        written first and carries the counterexamples."""
+        report_path = tmp_path / "r.json"
+        assert (
+            main(
+                [
+                    "suite",
+                    "--only",
+                    "mp",
+                    "--memory",
+                    "buggy",
+                    "--report",
+                    str(report_path),
+                ]
+            )
+            == 1
+        )
+        assert "COUNTEREXAMPLE" in capsys.readouterr().out
+        report = self._load_valid_report(report_path)
+        assert report["memory_variant"] == "buggy"
+        assert report["aggregates"]["bugs_found"] == 1
+        assert report["tests"][0]["counters"]
+
+    def test_verify_report(self, tmp_path, capsys):
+        report_path = tmp_path / "r.json"
+        assert main(["verify", "lb", "--report", str(report_path)]) == 0
+        report = self._load_valid_report(report_path)
+        assert report["aggregates"]["num_tests"] == 1

@@ -1,0 +1,265 @@
+"""Tests for the :mod:`repro.obs` observability layer.
+
+Covers the recorder substrate (spans, counters, gauges, state
+merging), the Chrome trace and run-report exporters, and — most
+importantly — the two load-bearing invariants:
+
+* suite aggregates equal the sum of per-test counters regardless of
+  job count (the process-pool merge is lossless);
+* observability never changes verification: verdicts, bounds,
+  transition counts, and modeled hours are bit-identical with the
+  recorder on or off.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import CONFIGS, RTLCheck, get_test, obs
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    chrome_trace,
+    get_recorder,
+    merge_counters,
+    merge_states,
+    suite_report,
+    use_recorder,
+    validate_report,
+)
+from repro.core.results import TestVerification
+
+
+class TestRecorder:
+    def test_default_recorder_is_null(self):
+        assert get_recorder() is NULL_RECORDER
+        assert not get_recorder().enabled
+
+    def test_null_span_still_times(self):
+        with NullRecorder().span("work") as span:
+            time.sleep(0.002)
+        assert span.seconds >= 0.002
+
+    def test_null_recorder_stores_nothing(self):
+        recorder = NullRecorder()
+        recorder.count("x", 5)
+        recorder.gauge("y", 3.0)
+        recorder.add_span("z", 0.0, 1.0)
+        assert not hasattr(recorder, "events")
+        assert not hasattr(recorder, "counters")
+
+    def test_trace_recorder_records_span(self):
+        recorder = TraceRecorder()
+        with recorder.span("phase", test="mp"):
+            pass
+        assert len(recorder.events) == 1
+        event = recorder.events[0]
+        assert event["name"] == "phase"
+        assert event["args"] == {"test": "mp"}
+        assert event["ts"] >= 0.0
+        assert event["dur"] >= 0.0
+
+    def test_spans_nest(self):
+        recorder = TraceRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        # Inner span finishes (and is recorded) first.
+        assert [e["name"] for e in recorder.events] == ["inner", "outer"]
+
+    def test_counters_sum(self):
+        recorder = TraceRecorder()
+        recorder.count("hits")
+        recorder.count("hits", 4)
+        assert recorder.counters["hits"] == 5
+
+    def test_use_recorder_restores_previous(self):
+        recorder = TraceRecorder()
+        with use_recorder(recorder):
+            assert get_recorder() is recorder
+            obs.count("via.module.helper", 2)
+        assert get_recorder() is NULL_RECORDER
+        assert recorder.counters["via.module.helper"] == 2
+
+    def test_merge_state_sums_counters_and_maxes_gauges(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        a.count("hits", 3)
+        a.gauge("states", 10)
+        b.count("hits", 4)
+        b.count("misses", 1)
+        b.gauge("states", 7)
+        merged = merge_states([a.to_state(), b.to_state()])
+        assert merged.counters == {"hits": 7, "misses": 1}
+        assert merged.gauges == {"states": 10}
+
+    def test_state_is_json_safe(self):
+        recorder = TraceRecorder()
+        with recorder.span("phase", test="mp"):
+            recorder.count("hits")
+            recorder.gauge("states", 4)
+        json.dumps(recorder.to_state())
+
+
+class TestChromeTrace:
+    def test_shape(self):
+        recorder = TraceRecorder()
+        with recorder.span("cover", test="mp"):
+            pass
+        doc = chrome_trace({"mp": recorder.to_state(), "skipped": None})
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        phases = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(phases) == 1
+        assert phases[0]["name"] == "cover"
+        assert phases[0]["pid"] == 1
+        # The None track contributes no metadata event.
+        assert [m["args"]["name"] for m in metas] == ["mp"]
+        json.dumps(doc)
+
+
+@pytest.fixture(scope="module")
+def observed_results():
+    """mp + sb verified with observability on (sb exercises the proof
+    phase; mp is discharged by the covering trace)."""
+    rtlcheck = RTLCheck(observe=True)
+    tests = [get_test("mp"), get_test("sb")]
+    return rtlcheck.verify_suite(tests, memory_variant="fixed")
+
+
+class TestInstrumentation:
+    def test_obs_snapshot_attached(self, observed_results):
+        for result in observed_results.values():
+            assert result.obs is not None
+            assert result.obs["counters"]
+
+    def test_phase_spans_present_per_test(self, observed_results):
+        for result in observed_results.values():
+            names = {e["name"] for e in result.obs["events"]}
+            assert {"generate", "cover", "graph-build", "proof"} <= names
+
+    def test_cover_shortcut_records_zero_duration_proof_span(
+        self, observed_results
+    ):
+        mp = observed_results["mp"]
+        assert mp.verified_by_cover
+        proof = [e for e in mp.obs["events"] if e["name"] == "proof"]
+        assert len(proof) == 1
+        assert proof[0]["dur"] == 0.0
+        assert proof[0]["args"]["skipped_by_cover"] is True
+
+    def test_expected_counters_recorded(self, observed_results):
+        sb = observed_results["sb"]
+        counters = sb.obs["counters"]
+        for name in (
+            "generator.assumptions",
+            "generator.assertions",
+            "explorer.cover_walks",
+            "explorer.property_walks",
+            "explorer.transitions",
+            "reach.cache_hits",
+            "reach.sim_transitions",
+            "rtl.frames_simulated",
+            "monitor.verdict_memo_hits",
+            "nfa.predicate_memo_misses",
+            "assumptions.antecedent_firings",
+        ):
+            assert counters.get(name, 0) > 0, name
+
+    def test_recorder_not_leaked(self, observed_results):
+        assert get_recorder() is NULL_RECORDER
+
+    def test_observability_does_not_change_results(self, observed_results):
+        plain = RTLCheck().verify_suite(
+            [get_test("mp"), get_test("sb")], memory_variant="fixed"
+        )
+        for name, observed in observed_results.items():
+            baseline = plain[name]
+            assert observed.verified_by_cover == baseline.verified_by_cover
+            assert observed.cover.verdict == baseline.cover.verdict
+            assert observed.cover.transitions == baseline.cover.transitions
+            assert observed.modeled_hours == baseline.modeled_hours
+            assert len(observed.properties) == len(baseline.properties)
+            for obs_prop, base_prop in zip(
+                observed.properties, baseline.properties
+            ):
+                assert obs_prop.name == base_prop.name
+                assert obs_prop.status == base_prop.status
+                assert obs_prop.verdict.bound == base_prop.verdict.bound
+                assert (
+                    obs_prop.verdict.transitions == base_prop.verdict.transitions
+                )
+                assert (
+                    obs_prop.ground_truth.layer_transitions
+                    == base_prop.ground_truth.layer_transitions
+                )
+
+
+class TestReport:
+    def test_suite_report_validates(self, observed_results):
+        report = suite_report(
+            observed_results,
+            config_name="Full_Proof",
+            memory_variant="fixed",
+            jobs=1,
+        )
+        assert validate_report(report) == []
+        json.dumps(report)
+
+    def test_aggregates_equal_sum_of_tests(self, observed_results):
+        report = suite_report(observed_results)
+        totals = merge_counters(report["tests"])
+        assert report["aggregates"]["counters"] == totals
+        assert report["aggregates"]["modeled_hours_total"] == pytest.approx(
+            sum(t["modeled_hours"] for t in report["tests"])
+        )
+
+    def test_tampered_report_rejected(self, observed_results):
+        report = suite_report(observed_results)
+        report["aggregates"]["properties_proven"] += 1
+        assert validate_report(report)
+        del report["aggregates"]
+        assert validate_report(report)
+
+    def test_jobs_invariance(self):
+        """The acceptance invariant: aggregates are identical whether
+        counters were merged from one process or from pool workers."""
+        tests = [get_test("mp"), get_test("sb"), get_test("lb")]
+        rtlcheck = RTLCheck(observe=True)
+        serial = rtlcheck.verify_suite(tests, memory_variant="fixed", jobs=1)
+        parallel = rtlcheck.verify_suite(tests, memory_variant="fixed", jobs=2)
+        agg1 = suite_report(serial)["aggregates"]
+        agg2 = suite_report(parallel)["aggregates"]
+        assert agg1["counters"] == agg2["counters"]
+        for key in (
+            "properties_total",
+            "properties_proven",
+            "properties_bounded",
+            "bugs_found",
+            "verified_by_cover",
+            "bounded_bounds",
+        ):
+            assert agg1[key] == agg2[key]
+        assert agg1["modeled_hours_total"] == pytest.approx(
+            agg2["modeled_hours_total"]
+        )
+
+    def test_round_trip(self, observed_results):
+        for result in observed_results.values():
+            snapshot = result.to_dict()
+            rebuilt = TestVerification.from_dict(snapshot)
+            assert rebuilt.to_dict() == snapshot
+            assert rebuilt.summary() == result.summary()
+
+    def test_failure_report_still_carries_counterexamples(self):
+        rtlcheck = RTLCheck(config=CONFIGS["Full_Proof"], observe=True)
+        results = rtlcheck.verify_suite(
+            [get_test("mp")], memory_variant="buggy"
+        )
+        report = suite_report(results, memory_variant="buggy")
+        assert validate_report(report) == []
+        assert report["aggregates"]["bugs_found"] == 1
+        rebuilt = TestVerification.from_dict(report["tests"][0])
+        assert rebuilt.bug_found
+        assert rebuilt.counterexamples[0].counterexample
