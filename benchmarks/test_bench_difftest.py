@@ -1,0 +1,79 @@
+"""Benchmark: differential fuzzing throughput and oracle cost split.
+
+Times a seed-pinned 20-test campaign on the fixed memory with all four
+oracle layers and reports tests/second plus the per-oracle wall-time
+split (from the observability spans), then times the buggy-memory
+shrink path on the classic ``mp`` shape.  The acceptance bars are
+generous — the point is a tracked number, not a tight gate:
+
+* the fixed campaign sustains at least 0.5 cross-checked tests/second;
+* shrinking a buggy ``mp`` discrepancy stays under 5 seconds.
+"""
+
+import time
+
+from conftest import save_table
+
+from repro import obs
+from repro.difftest import FuzzConfig, discrepancy_predicate, run_fuzz, shrink_test
+from repro.litmus.test import LitmusTest, Outcome, load, store
+
+MIN_TESTS_PER_SECOND = 0.5
+SHRINK_CEILING_SECONDS = 5.0
+BUDGET = 20
+
+MP = LitmusTest.of(
+    "bench-mp",
+    [[store("x", 1), store("y", 1)], [load("y", "r1"), load("x", "r2")]],
+    Outcome.of({"r1": 1, "r2": 0}),
+)
+
+
+def test_difftest_throughput(results_dir):
+    recorder = obs.TraceRecorder()
+    with obs.use_recorder(recorder):
+        result = run_fuzz(
+            FuzzConfig(seed=0, budget=BUDGET, observe=True)
+        )
+    rate = result.tests_run / result.wall_seconds
+
+    oracle_seconds = {}
+    for event in recorder.events:
+        if event["name"].startswith("oracle."):
+            oracle = event["name"].split(".", 1)[1]
+            oracle_seconds[oracle] = oracle_seconds.get(oracle, 0.0) + event["dur"]
+
+    start = time.perf_counter()
+    predicate = discrepancy_predicate("rtl-vs-model", "buggy")
+    minimized, stats = shrink_test(MP, predicate)
+    shrink_seconds = time.perf_counter() - start
+
+    lines = [
+        f"Differential fuzzing: seed=0 budget={BUDGET}, fixed memory, "
+        f"all four oracles",
+        "",
+        f"{'campaign wall':22s} {result.wall_seconds:>8.2f}s",
+        f"{'tests/second':22s} {rate:>8.2f}",
+        f"{'discrepancies':22s} {len(result.discrepancies):>8d}",
+        "",
+        "per-oracle wall-time split:",
+    ]
+    total = sum(oracle_seconds.values()) or 1.0
+    for oracle in sorted(oracle_seconds, key=oracle_seconds.get, reverse=True):
+        seconds = oracle_seconds[oracle]
+        lines.append(
+            f"  {oracle:12s} {seconds:>8.2f}s  ({seconds / total:>5.1%})"
+        )
+    lines += [
+        "",
+        f"shrink buggy mp -> {minimized.instruction_count()} instr in "
+        f"{shrink_seconds:.2f}s "
+        f"({stats['predicate_calls']} predicate calls)",
+    ]
+    save_table(results_dir, "difftest.txt", "\n".join(lines) + "\n")
+
+    assert result.discrepancies == [], "fixed memory must cross-check clean"
+    assert rate >= MIN_TESTS_PER_SECOND, (
+        f"fuzz throughput {rate:.2f} tests/s below {MIN_TESTS_PER_SECOND}"
+    )
+    assert shrink_seconds < SHRINK_CEILING_SECONDS

@@ -16,6 +16,13 @@ Commands
 ``suite [--memory ...] [--config ...] [--jobs N] [--only TEST ...]``
     Verify the 56-test suite (or a subset) with per-test progress
     lines; ``--jobs N`` verifies tests in parallel worker processes.
+``fuzz [--seed N] [--budget N] [--oracles ...] [--jobs N]``
+    Differential litmus fuzzing: generate seeded random tests and
+    cross-check the operational, axiomatic, RTL-simulation, and
+    verifier layers against each other; discrepancies are shrunk to
+    minimal reproducers (``--reproducers DIR`` writes them as replayable
+    JSON artifacts).  Exits non-zero iff a discrepancy was found.  See
+    ``docs/difftest.md``.
 
 Observability (``verify`` and ``suite``): ``--report FILE`` writes a
 schema-versioned JSON run report (the machine-readable Figures 13/14;
@@ -136,6 +143,88 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="TEST",
         help="restrict the run to these test names (e.g. CI smoke runs)",
+    )
+
+    from repro.difftest import ORACLE_NAMES
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing across the semantics layers"
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="campaign seed; together with --budget it fully determines "
+        "the generated tests and minimized reproducers (default: 0)",
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=100,
+        metavar="N",
+        help="number of tests to generate and cross-check (default: 100)",
+    )
+    fuzz.add_argument(
+        "--oracles",
+        nargs="+",
+        choices=list(ORACLE_NAMES),
+        default=list(ORACLE_NAMES),
+        metavar="ORACLE",
+        help=f"oracle layers to run (default: all of {list(ORACLE_NAMES)})",
+    )
+    fuzz.add_argument(
+        "--memory",
+        choices=["buggy", "fixed"],
+        default="fixed",
+        help="Multi-V-scale memory variant under test (default: fixed)",
+    )
+    fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=DEFAULT_SUITE_JOBS,
+        metavar="N",
+        help="evaluate N tests in parallel worker processes; results "
+        "are independent of this value (default: 1)",
+    )
+    fuzz.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        metavar="N",
+        help="RTL enumeration state budget per test (comparisons that "
+        "trip it are skipped and counted, not reported)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip delta-debugging minimization of discrepancies",
+    )
+    fuzz.add_argument(
+        "--shrink-limit",
+        type=int,
+        default=5,
+        metavar="N",
+        help="minimize at most N discrepancies (default: 5)",
+    )
+    fuzz.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write the schema-versioned JSON campaign report to FILE",
+    )
+    fuzz.add_argument(
+        "--reproducers",
+        metavar="DIR",
+        help="write one replayable JSON artifact per discrepancy to DIR",
+    )
+    fuzz.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace-event (Perfetto) file to FILE",
+    )
+    fuzz.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the merged observability counters",
     )
     return parser
 
@@ -290,6 +379,85 @@ def cmd_suite(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro import obs
+    from repro.difftest import (
+        FuzzConfig,
+        run_fuzz,
+        validate_fuzz_report,
+        write_reproducer,
+    )
+    from repro.verifier.outcomes import DEFAULT_MAX_STATES
+
+    observe = bool(args.trace or args.metrics)
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        oracles=tuple(args.oracles),
+        memory_variant=args.memory,
+        jobs=args.jobs,
+        max_states=args.max_states or DEFAULT_MAX_STATES,
+        shrink=not args.no_shrink,
+        shrink_limit=args.shrink_limit,
+        observe=observe,
+    )
+    total = config.budget
+    done = [0]
+
+    def progress(_index, name):
+        done[0] += 1
+        if done[0] % 25 == 0 or done[0] == total:
+            print(f"[{done[0]}/{total}] cross-checked through {name}", flush=True)
+
+    recorder = obs.TraceRecorder() if observe else obs.NULL_RECORDER
+    with obs.use_recorder(recorder):
+        result = run_fuzz(config, progress=progress)
+
+    print(
+        f"\nfuzz seed={config.seed} budget={config.budget} "
+        f"memory={config.memory_variant}: {result.tests_run} tests, "
+        f"{len(result.discrepancies)} discrepancies, "
+        f"{len(result.oracle_errors)} oracle errors, "
+        f"skipped={result.skipped or '{}'} "
+        f"({result.wall_seconds:.1f}s)"
+    )
+    for entry in result.discrepancies:
+        line = f"  DISCREPANCY {entry.discrepancy.summary()}"
+        if entry.minimized is not None:
+            line += (
+                f" -> minimized to {entry.minimized.instruction_count()} "
+                f"instruction(s)"
+            )
+        print(line)
+    shown = [e for e in result.discrepancies if e.minimized is not None]
+    if shown:
+        print("\nFirst minimized reproducer:")
+        print(shown[0].minimized.pretty())
+
+    report = result.report()
+    problems = validate_fuzz_report(report)
+    if problems:
+        # A malformed report is a difftest bug; surface it loudly.
+        for problem in problems:
+            print(f"REPORT INVALID: {problem}", file=sys.stderr)
+        return 2
+    if args.report:
+        obs.write_report(args.report, report)
+        print(f"wrote fuzz report to {args.report}")
+    if args.reproducers:
+        for entry in result.discrepancies:
+            path = write_reproducer(args.reproducers, entry)
+            print(f"wrote reproducer {path}")
+    if args.trace:
+        obs.write_chrome_trace(args.trace, {"fuzz": recorder.to_state()})
+        print(f"wrote Chrome trace to {args.trace}")
+    if args.metrics:
+        print("\ncounters:")
+        for name in sorted(recorder.counters):
+            print(f"  {name:40s} {recorder.counters[name]:.0f}")
+    return 1 if result.discrepancies else 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "show": cmd_show,
@@ -298,6 +466,7 @@ COMMANDS = {
     "microarch": cmd_microarch,
     "lint": cmd_lint,
     "suite": cmd_suite,
+    "fuzz": cmd_fuzz,
 }
 
 

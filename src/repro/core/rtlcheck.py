@@ -178,14 +178,34 @@ class RTLCheck:
         With ``observe=True`` the run records into a fresh per-test
         :class:`~repro.obs.TraceRecorder`; its snapshot is attached as
         ``result.obs``.
+
+        Malformed tests (an outcome referencing a register no load
+        writes, a final value for a location no thread uses) fail fast
+        with a :class:`~repro.errors.ReproError` naming the test — they
+        must not surface as ``KeyError``/``AssertionError`` from deep
+        inside the generators (fuzzed tests reach this path with no
+        prior validation).
         """
-        if not self.observe:
-            return self._verify_test(test, memory_variant, skip_cover_shortcut)
-        recorder = obs.TraceRecorder()
-        with obs.use_recorder(recorder):
-            result = self._verify_test(test, memory_variant, skip_cover_shortcut)
-        result.obs = recorder.to_state()
-        return result
+        test.validate()
+        try:
+            if not self.observe:
+                return self._verify_test(
+                    test, memory_variant, skip_cover_shortcut
+                )
+            recorder = obs.TraceRecorder()
+            with obs.use_recorder(recorder):
+                result = self._verify_test(
+                    test, memory_variant, skip_cover_shortcut
+                )
+            result.obs = recorder.to_state()
+            return result
+        except ReproError:
+            raise
+        except (KeyError, AssertionError, IndexError) as exc:
+            raise ReproError(
+                f"{test.name}: internal error while verifying "
+                f"[{memory_variant}]: {exc!r}"
+            ) from exc
 
     def _verify_test(
         self,

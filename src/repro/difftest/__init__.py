@@ -1,0 +1,62 @@
+"""`repro.difftest` — differential litmus fuzzing across semantics layers.
+
+This repository carries four independently implemented answers to "what
+may this litmus test do?":
+
+1. the **operational** memory-model executors (SC interleaving and
+   x86-TSO store-buffer machines, :mod:`repro.memodel.operational`),
+2. the **axiomatic** SC checker (candidate-execution enumeration,
+   :mod:`repro.memodel.axiomatic`),
+3. direct **RTL** enumeration of Multi-V-scale's architectural
+   outcomes (:mod:`repro.verifier.outcomes`), and
+4. the full **RTLCheck verifier** (µspec axioms as generated temporal
+   SVA, :mod:`repro.core.rtlcheck`).
+
+RTLCheck's whole value proposition is that these independently-derived
+semantics must agree — the paper found the V-scale store-dropping bug
+precisely because two layers disagreed.  This package systematizes
+that: a seeded fuzzer generates litmus tests, every test runs through
+all four layers, and any violated cross-layer invariant is reported as
+a structured discrepancy with a delta-debugged minimal reproducer.
+See ``docs/difftest.md``.
+"""
+
+from repro.difftest.compare import (
+    Discrepancy,
+    INVARIANTS,
+    cross_check,
+)
+from repro.difftest.generate import FuzzGenerator, generated_test
+from repro.difftest.oracles import (
+    ORACLE_NAMES,
+    TestVerdicts,
+    evaluate_oracles,
+)
+from repro.difftest.report import (
+    DIFFTEST_REPORT_KIND,
+    fuzz_report,
+    validate_fuzz_report,
+    write_reproducer,
+)
+from repro.difftest.runner import FuzzConfig, FuzzResult, run_fuzz
+from repro.difftest.shrink import discrepancy_predicate, shrink_test
+
+__all__ = [
+    "DIFFTEST_REPORT_KIND",
+    "Discrepancy",
+    "FuzzConfig",
+    "FuzzGenerator",
+    "FuzzResult",
+    "INVARIANTS",
+    "ORACLE_NAMES",
+    "TestVerdicts",
+    "cross_check",
+    "discrepancy_predicate",
+    "evaluate_oracles",
+    "fuzz_report",
+    "generated_test",
+    "run_fuzz",
+    "shrink_test",
+    "validate_fuzz_report",
+    "write_reproducer",
+]

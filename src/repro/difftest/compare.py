@@ -1,0 +1,175 @@
+"""Cross-layer invariants and structured discrepancies.
+
+The sound pairwise agreements between the oracle layers (each one was
+validated against the full 56-test paper suite before being adopted —
+see ``docs/difftest.md`` for the derivation):
+
+``operational-vs-axiomatic``
+    The two independent SC implementations must produce the *same
+    outcome set* (classic operational/axiomatic equivalence).
+
+``sc-vs-tso``
+    An outcome observable under SC must be observable under x86-TSO
+    (TSO only weakens SC).
+
+``rtl-vs-model``
+    The design under test must exhibit *exactly* the SC outcome set.
+    Multi-V-scale claims SC; any extra outcome is a consistency
+    violation, any missing outcome is a liveness/coverage divergence.
+    Skipped (and counted) when the RTL enumeration hit its state
+    budget.
+
+``verifier-vs-rtl``
+    If RTLCheck reports a µspec-axiom counterexample, the RTL must
+    really diverge from the model's outcome set.  (The converse does
+    not hold: the verifier constrains executions to the candidate
+    outcome, so an architectural divergence outside that slice is
+    legitimately invisible to it — e.g. ``n1`` on the buggy memory.)
+
+A discrepancy records the disagreeing oracle pair so the shrinker can
+re-run just those two layers while minimizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.difftest.oracles import TestVerdicts
+
+#: Discrepancy kinds, in severity/report order.
+INVARIANTS = (
+    "operational-vs-axiomatic",
+    "sc-vs-tso",
+    "rtl-vs-model",
+    "verifier-vs-rtl",
+)
+
+
+def _render_outcome(outcome) -> str:
+    regs, mem = outcome
+    parts = [f"{r}={v}" for r, v in regs]
+    parts += [f"[{a}]={v}" for a, v in mem]
+    return ", ".join(parts) or "(empty)"
+
+
+def _set_diff_details(left_name, left, right_name, right, limit=6) -> Dict:
+    only_left = sorted(left - right)
+    only_right = sorted(right - left)
+    return {
+        f"only_{left_name}": [_render_outcome(o) for o in only_left[:limit]],
+        f"only_{right_name}": [_render_outcome(o) for o in only_right[:limit]],
+        f"only_{left_name}_count": len(only_left),
+        f"only_{right_name}_count": len(only_right),
+    }
+
+
+@dataclass
+class Discrepancy:
+    """One violated cross-layer invariant on one generated test."""
+
+    kind: str
+    oracles: Tuple[str, str]
+    test_name: str
+    details: Dict = field(default_factory=dict)
+    #: Provenance: fuzzer seed and test index (None for hand-fed tests).
+    seed: Optional[int] = None
+    index: Optional[int] = None
+
+    def summary(self) -> str:
+        return (
+            f"{self.test_name}: {self.kind} "
+            f"({self.oracles[0]} vs {self.oracles[1]})"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "oracles": list(self.oracles),
+            "test": self.test_name,
+            "seed": self.seed,
+            "index": self.index,
+            "details": dict(self.details),
+        }
+
+
+def cross_check(verdicts: TestVerdicts) -> List[Discrepancy]:
+    """Evaluate every invariant whose oracle pair ran without error."""
+    found: List[Discrepancy] = []
+    name = verdicts.test.name
+
+    if verdicts.op_outcomes is not None and verdicts.ax_outcomes is not None:
+        if verdicts.op_outcomes != verdicts.ax_outcomes or (
+            verdicts.op_allowed != verdicts.ax_allowed
+        ):
+            details = _set_diff_details(
+                "operational",
+                verdicts.op_outcomes,
+                "axiomatic",
+                verdicts.ax_outcomes,
+            )
+            details["operational_allowed"] = verdicts.op_allowed
+            details["axiomatic_allowed"] = verdicts.ax_allowed
+            found.append(
+                Discrepancy(
+                    kind="operational-vs-axiomatic",
+                    oracles=("operational", "axiomatic"),
+                    test_name=name,
+                    details=details,
+                )
+            )
+
+    if verdicts.op_allowed is not None and verdicts.tso_allowed_ is not None:
+        if verdicts.op_allowed and not verdicts.tso_allowed_:
+            found.append(
+                Discrepancy(
+                    kind="sc-vs-tso",
+                    oracles=("operational-sc", "operational-tso"),
+                    test_name=name,
+                    details={
+                        "sc_allowed": True,
+                        "tso_allowed": False,
+                        "outcome": str(verdicts.test.outcome),
+                    },
+                )
+            )
+
+    rtl_conclusive = verdicts.rtl is not None and verdicts.rtl.complete
+    if verdicts.op_outcomes is not None and rtl_conclusive:
+        if verdicts.rtl.outcomes != verdicts.op_outcomes:
+            details = _set_diff_details(
+                "rtl", verdicts.rtl.outcomes, "model", verdicts.op_outcomes
+            )
+            details["memory_variant"] = verdicts.memory_variant
+            found.append(
+                Discrepancy(
+                    kind="rtl-vs-model",
+                    oracles=("rtl", "operational"),
+                    test_name=name,
+                    details=details,
+                )
+            )
+
+    if (
+        verdicts.verifier_bug_found is not None
+        and verdicts.op_outcomes is not None
+        and rtl_conclusive
+    ):
+        if verdicts.verifier_bug_found and (
+            verdicts.rtl.outcomes == verdicts.op_outcomes
+        ):
+            found.append(
+                Discrepancy(
+                    kind="verifier-vs-rtl",
+                    oracles=("verifier", "rtl"),
+                    test_name=name,
+                    details={
+                        "memory_variant": verdicts.memory_variant,
+                        "failing_properties": list(
+                            verdicts.verifier_failing_properties
+                        ),
+                        "rtl_matches_model": True,
+                    },
+                )
+            )
+    return found

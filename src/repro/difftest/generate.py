@@ -1,0 +1,258 @@
+"""Seeded litmus-test generation for the differential fuzzer.
+
+Every test is derived from ``(seed, index)`` alone through one
+:class:`random.Random` instance — no module-level randomness anywhere
+in the pipeline — so a recorded seed reproduces the exact generated
+suite across runs, platforms, interpreter restarts, and ``--jobs``
+values (generation happens in the parent; workers only evaluate).
+
+Two generation modes mix:
+
+* **cycle mode** — draw a random valid diy critical cycle
+  (:func:`repro.litmus.diy.random_cycle`), build its witness test, then
+  perturb it: fence insertion, store-value changes, address merging,
+  instruction drops, in-thread reorders, outcome rewrites.  Cycle-born
+  tests concentrate on the interesting boundary (outcomes forbidden for
+  a *reason*), and the perturbations walk the neighbourhood the cycle
+  construction alone would never visit.
+* **random mode** — unconstrained random threads/outcomes, covering
+  shapes outside the diy alphabet entirely (single-thread corners,
+  duplicate values, fence-heavy programs, unconstrained outcomes).
+
+Sizes are capped so the RTL enumeration oracle stays exhaustive within
+its state budget: 4-processor tests get fewer instructions per thread
+(the 4-core product space is the expensive one).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.errors import LitmusError, ReproError
+from repro.litmus.diy import generate_from_cycle, random_cycle
+from repro.litmus.test import LitmusTest, MemOp, Outcome, fence, load, store
+
+#: Location pool (mirrors the diy generator's naming).
+_VARS = "xyzw"
+
+#: Per-thread op caps by processor count (4-core tests explode the RTL
+#: product space fastest, so they get the tightest budget).
+_OPS_CAP = {1: 6, 2: 5, 3: 4, 4: 2}
+
+#: Total-instruction cap independent of shape.
+_TOTAL_OPS_CAP = 10
+
+
+def _derive_rng(seed: int, index: int, attempt: int = 0) -> random.Random:
+    """The single RNG an (index, attempt) derivation may use.  String
+    seeding hashes with SHA-512 internally, so the stream is stable
+    across platforms and ``PYTHONHASHSEED``."""
+    return random.Random(f"difftest:{seed}:{index}:{attempt}")
+
+
+class FuzzGenerator:
+    """Deterministic ``index -> LitmusTest`` mapping for one seed."""
+
+    def __init__(self, seed: int = 0, max_procs: int = 4):
+        if not 1 <= max_procs <= 4:
+            raise ReproError(f"max_procs must be 1..4, got {max_procs}")
+        self.seed = seed
+        self.max_procs = max_procs
+
+    def test_at(self, index: int) -> LitmusTest:
+        """The ``index``-th generated test (pure function of the seed).
+
+        Invalid perturbation products are rejected and re-derived with
+        a bumped attempt counter, so every index yields a well-formed
+        test and the sequence stays reproducible.
+        """
+        name = f"fz{self.seed}-{index:05d}"
+        for attempt in range(64):
+            rng = _derive_rng(self.seed, index, attempt)
+            try:
+                test = self._build(name, rng)
+            except LitmusError:
+                continue
+            if test.instruction_count() == 0:
+                continue
+            return test
+        raise ReproError(
+            f"{name}: no valid litmus test after 64 derivation attempts"
+        )
+
+    def suite(self, budget: int) -> List[LitmusTest]:
+        """The first ``budget`` generated tests (names are unique by
+        construction; duplicates would indicate a generator bug and are
+        rejected here rather than leaking downstream)."""
+        tests = [self.test_at(index) for index in range(budget)]
+        seen: Dict[str, int] = {}
+        for position, test in enumerate(tests):
+            if test.name in seen:
+                raise ReproError(
+                    f"duplicate generated test name {test.name!r} "
+                    f"(indices {seen[test.name]} and {position})"
+                )
+            seen[test.name] = position
+        return tests
+
+    # ------------------------------------------------------------------
+
+    def _build(self, name: str, rng: random.Random) -> LitmusTest:
+        if rng.random() < 0.6:
+            test = self._cycle_seeded(name, rng)
+        else:
+            test = self._unconstrained(name, rng)
+        if test.num_threads > self.max_procs:
+            raise LitmusError(f"{name}: too many threads")
+        if test.instruction_count() > _TOTAL_OPS_CAP:
+            raise LitmusError(f"{name}: too many instructions")
+        return test
+
+    # -- cycle mode ----------------------------------------------------
+
+    def _cycle_seeded(self, name: str, rng: random.Random) -> LitmusTest:
+        cycle = random_cycle(
+            rng,
+            min_length=3,
+            max_length=6,
+            max_procs=self.max_procs,
+        )
+        base = generate_from_cycle(name, cycle)
+        threads = [list(t) for t in base.threads]
+        out_regs = dict(base.outcome.register_map)
+        out_mem = dict(base.outcome.final_memory_map)
+
+        if rng.random() < 0.30:
+            self._insert_fence(threads, rng)
+        if rng.random() < 0.25:
+            self._perturb_store_value(threads, rng)
+        if rng.random() < 0.15:
+            self._merge_addresses(threads, out_mem, rng)
+        if rng.random() < 0.20:
+            self._drop_op(threads, out_regs, rng)
+        if rng.random() < 0.15:
+            self._reorder_thread(threads, rng)
+        if rng.random() < 0.30:
+            out_regs, out_mem = self._rewrite_outcome(threads, rng)
+
+        threads = [t for t in threads if t] or [[]]
+        return LitmusTest.of(name, threads, Outcome.of(out_regs, out_mem))
+
+    # -- random mode ---------------------------------------------------
+
+    def _unconstrained(self, name: str, rng: random.Random) -> LitmusTest:
+        num_procs = rng.choices(
+            range(1, self.max_procs + 1),
+            weights=[10, 45, 30, 15][: self.max_procs],
+        )[0]
+        num_vars = rng.randint(1, min(3, len(_VARS)))
+        variables = list(_VARS[:num_vars])
+        threads: List[List[MemOp]] = []
+        reg = 0
+        for _ in range(num_procs):
+            ops: List[MemOp] = []
+            for _ in range(rng.randint(1, _OPS_CAP[num_procs])):
+                roll = rng.random()
+                var = rng.choice(variables)
+                if roll < 0.45:
+                    ops.append(store(var, rng.randint(1, 2)))
+                elif roll < 0.90:
+                    reg += 1
+                    ops.append(load(var, f"r{reg}"))
+                else:
+                    ops.append(fence())
+            threads.append(ops)
+        out_regs, out_mem = self._rewrite_outcome(threads, rng)
+        return LitmusTest.of(name, threads, Outcome.of(out_regs, out_mem))
+
+    # -- perturbations (all deterministic in rng) ----------------------
+
+    @staticmethod
+    def _loads(threads) -> List[Tuple[int, int, MemOp]]:
+        return [
+            (t, i, op)
+            for t, ops in enumerate(threads)
+            for i, op in enumerate(ops)
+            if op.is_load
+        ]
+
+    @staticmethod
+    def _stores(threads) -> List[Tuple[int, int, MemOp]]:
+        return [
+            (t, i, op)
+            for t, ops in enumerate(threads)
+            for i, op in enumerate(ops)
+            if op.is_store
+        ]
+
+    def _insert_fence(self, threads, rng) -> None:
+        candidates = [t for t, ops in enumerate(threads) if ops]
+        if not candidates:
+            return
+        thread = rng.choice(candidates)
+        position = rng.randint(0, len(threads[thread]))
+        threads[thread].insert(position, fence())
+
+    def _perturb_store_value(self, threads, rng) -> None:
+        stores = self._stores(threads)
+        if not stores:
+            return
+        thread, i, op = rng.choice(stores)
+        threads[thread][i] = store(op.addr, rng.randint(0, 3))
+
+    def _merge_addresses(self, threads, out_mem, rng) -> None:
+        addresses = sorted(
+            {op.addr for ops in threads for op in ops if op.addr is not None}
+        )
+        if len(addresses) < 2:
+            return
+        keep, merged = rng.sample(addresses, 2)
+        for ops in threads:
+            for i, op in enumerate(ops):
+                if op.addr == merged:
+                    if op.is_store:
+                        ops[i] = store(keep, op.value)
+                    else:
+                        ops[i] = load(keep, op.out)
+        out_mem.pop(merged, None)
+
+    def _drop_op(self, threads, out_regs, rng) -> None:
+        positions = [
+            (t, i) for t, ops in enumerate(threads) for i in range(len(ops))
+        ]
+        if not positions:
+            return
+        thread, i = rng.choice(positions)
+        removed = threads[thread].pop(i)
+        if removed.is_load:
+            out_regs.pop(removed.out, None)
+
+    def _reorder_thread(self, threads, rng) -> None:
+        candidates = [t for t, ops in enumerate(threads) if len(ops) > 1]
+        if not candidates:
+            return
+        thread = rng.choice(candidates)
+        rng.shuffle(threads[thread])
+
+    def _rewrite_outcome(self, threads, rng):
+        """Sample a fresh candidate outcome over the current loads/vars.
+        Values are drawn from the store-value range plus 0, so sampled
+        outcomes land on both sides of the allowed/forbidden line."""
+        out_regs: Dict[str, int] = {}
+        out_mem: Dict[str, int] = {}
+        for _t, _i, op in self._loads(threads):
+            if rng.random() < 0.6:
+                out_regs[op.out] = rng.choice([0, 1, 1, 2])
+        variables = sorted(
+            {op.addr for ops in threads for op in ops if op.addr is not None}
+        )
+        for var in variables:
+            if rng.random() < 0.25:
+                out_mem[var] = rng.choice([0, 1, 2])
+        return out_regs, out_mem
+
+
+def generated_test(seed: int, index: int, max_procs: int = 4) -> LitmusTest:
+    """Convenience wrapper: the ``index``-th test of ``seed``'s stream."""
+    return FuzzGenerator(seed, max_procs=max_procs).test_at(index)

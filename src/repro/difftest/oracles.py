@@ -1,0 +1,239 @@
+"""The four oracle layers behind differential litmus testing.
+
+Each oracle answers independently; :mod:`repro.difftest.compare` then
+checks the cross-layer invariants.  All entry points here observe the
+malformed-test contract: a structurally bad litmus test (an outcome
+naming a register no load writes, a final value for an unused location)
+raises :class:`~repro.errors.ReproError` naming the offending test, and
+internal ``KeyError``/``AssertionError`` escapes are converted to the
+same — fuzz campaigns must diagnose, not crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import ReproError
+from repro.litmus.test import LitmusTest, compile_test
+from repro.memodel.axiomatic import axiomatic_sc_outcomes
+from repro.memodel.operational import (
+    enumerate_sc_outcomes,
+    sc_allowed,
+    tso_allowed,
+)
+from repro.verifier.outcomes import (
+    ArchEnumeration,
+    DEFAULT_MAX_STATES,
+    enumerate_design_outcomes,
+)
+
+#: The oracle layers, in report order.
+ORACLE_NAMES = ("operational", "axiomatic", "rtl", "verifier")
+
+#: An outcome set: frozenset of (sorted regs, sorted final memory).
+OutcomeSet = FrozenSet[Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, int], ...]]]
+
+
+@dataclass
+class TestVerdicts:
+    """Everything the selected oracle layers concluded about one test."""
+
+    test: LitmusTest
+    memory_variant: str = "fixed"
+    # operational layer
+    op_outcomes: Optional[OutcomeSet] = None
+    op_allowed: Optional[bool] = None
+    tso_allowed_: Optional[bool] = None
+    # axiomatic layer
+    ax_outcomes: Optional[OutcomeSet] = None
+    ax_allowed: Optional[bool] = None
+    # RTL enumeration layer
+    rtl: Optional[ArchEnumeration] = None
+    rtl_allowed: Optional[bool] = None
+    # verifier layer
+    verifier_bug_found: Optional[bool] = None
+    verifier_verified_by_cover: Optional[bool] = None
+    verifier_failing_properties: List[str] = field(default_factory=list)
+    #: oracle name -> error string for layers that refused the test.
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe summary (outcome sets are reported by size plus the
+        candidate-outcome membership verdicts, not expanded)."""
+        return {
+            "memory_variant": self.memory_variant,
+            "operational": None
+            if self.op_outcomes is None
+            else {
+                "allowed": self.op_allowed,
+                "tso_allowed": self.tso_allowed_,
+                "outcomes": len(self.op_outcomes),
+            },
+            "axiomatic": None
+            if self.ax_outcomes is None
+            else {"allowed": self.ax_allowed, "outcomes": len(self.ax_outcomes)},
+            "rtl": None
+            if self.rtl is None
+            else {
+                "allowed": self.rtl_allowed,
+                "outcomes": len(self.rtl.outcomes),
+                "complete": self.rtl.complete,
+                "states": self.rtl.states,
+            },
+            "verifier": None
+            if self.verifier_bug_found is None
+            else {
+                "bug_found": self.verifier_bug_found,
+                "verified_by_cover": self.verifier_verified_by_cover,
+                "failing_properties": list(self.verifier_failing_properties),
+            },
+            "errors": dict(self.errors),
+        }
+
+
+def check_wellformed(test: LitmusTest) -> None:
+    """Validate ``test`` before any oracle touches it; all structural
+    problems surface as :class:`ReproError` naming the test."""
+    try:
+        test.validate()
+    except ReproError:
+        raise
+    except (KeyError, AssertionError, TypeError) as exc:
+        raise ReproError(f"{test.name}: malformed litmus test: {exc!r}") from exc
+
+
+def _guard(test: LitmusTest, oracle: str, fn):
+    """Run one oracle body, converting internal escapes to ReproError."""
+    try:
+        return fn()
+    except ReproError:
+        raise
+    except (KeyError, AssertionError, IndexError) as exc:
+        raise ReproError(
+            f"{test.name}: oracle {oracle!r} internal error: {exc!r}"
+        ) from exc
+
+
+def operational_verdicts(test: LitmusTest) -> Tuple[OutcomeSet, bool, bool]:
+    """(SC outcome set, SC-allowed, TSO-allowed) for ``test``."""
+    check_wellformed(test)
+
+    def body():
+        outcomes = frozenset(enumerate_sc_outcomes(test))
+        return outcomes, sc_allowed(test), tso_allowed(test)
+
+    return _guard(test, "operational", body)
+
+
+def axiomatic_verdicts(test: LitmusTest) -> Tuple[OutcomeSet, bool]:
+    """(SC candidate-execution outcome set, SC-allowed) for ``test``."""
+    check_wellformed(test)
+
+    def body():
+        outcomes = axiomatic_sc_outcomes(test)
+        regs = dict(test.outcome.registers)
+        mem = dict(test.outcome.final_memory)
+        allowed = any(
+            all(dict(r).get(k) == v for k, v in regs.items())
+            and all(dict(m).get(k) == v for k, v in mem.items())
+            for r, m in outcomes
+        )
+        return outcomes, allowed
+
+    return _guard(test, "axiomatic", body)
+
+
+def rtl_verdicts(
+    test: LitmusTest,
+    memory_variant: str = "fixed",
+    max_states: int = DEFAULT_MAX_STATES,
+) -> ArchEnumeration:
+    """Exhaustive (budgeted) architectural enumeration of the design."""
+    check_wellformed(test)
+
+    def body():
+        from repro.vscale.soc import MultiVScale
+
+        design = MultiVScale(compile_test(test), memory_variant)
+        return enumerate_design_outcomes(design, max_states=max_states)
+
+    return _guard(test, "rtl", body)
+
+
+def verifier_verdicts(test: LitmusTest, memory_variant: str = "fixed", rtlcheck=None):
+    """Run the full RTLCheck flow; returns its
+    :class:`~repro.core.results.TestVerification`."""
+    check_wellformed(test)
+
+    def body():
+        checker = rtlcheck
+        if checker is None:
+            from repro.core.rtlcheck import RTLCheck
+
+            checker = RTLCheck()
+        return checker.verify_test(test, memory_variant)
+
+    return _guard(test, "verifier", body)
+
+
+def evaluate_oracles(
+    test: LitmusTest,
+    memory_variant: str = "fixed",
+    oracles: Tuple[str, ...] = ORACLE_NAMES,
+    max_states: int = DEFAULT_MAX_STATES,
+    rtlcheck=None,
+) -> TestVerdicts:
+    """Run the selected oracle layers on ``test``.
+
+    A layer that raises :class:`ReproError` *after* the up-front
+    well-formedness check is recorded in ``verdicts.errors`` and its
+    comparisons are skipped — a single odd test must not abort a fuzz
+    campaign.  (Malformed tests still raise: that is a generator bug.)
+    """
+    check_wellformed(test)
+    for oracle in oracles:
+        if oracle not in ORACLE_NAMES:
+            raise ReproError(
+                f"unknown oracle {oracle!r}; choose from {list(ORACLE_NAMES)}"
+            )
+    verdicts = TestVerdicts(test=test, memory_variant=memory_variant)
+    recorder = obs.get_recorder()
+
+    if "operational" in oracles:
+        with obs.span("oracle.operational", test=test.name):
+            outcomes, allowed, tso = operational_verdicts(test)
+        verdicts.op_outcomes = outcomes
+        verdicts.op_allowed = allowed
+        verdicts.tso_allowed_ = tso
+    if "axiomatic" in oracles:
+        with obs.span("oracle.axiomatic", test=test.name):
+            outcomes, allowed = axiomatic_verdicts(test)
+        verdicts.ax_outcomes = outcomes
+        verdicts.ax_allowed = allowed
+    if "rtl" in oracles:
+        with obs.span("oracle.rtl", test=test.name, memory=memory_variant):
+            try:
+                verdicts.rtl = rtl_verdicts(
+                    test, memory_variant, max_states=max_states
+                )
+                verdicts.rtl_allowed = verdicts.rtl.observes(test.outcome)
+            except ReproError as exc:
+                verdicts.errors["rtl"] = str(exc)
+    if "verifier" in oracles:
+        with obs.span("oracle.verifier", test=test.name, memory=memory_variant):
+            try:
+                result = verifier_verdicts(test, memory_variant, rtlcheck)
+                verdicts.verifier_bug_found = result.bug_found
+                verdicts.verifier_verified_by_cover = result.verified_by_cover
+                verdicts.verifier_failing_properties = [
+                    p.name for p in result.counterexamples
+                ]
+            except ReproError as exc:
+                verdicts.errors["verifier"] = str(exc)
+    if recorder.enabled:
+        recorder.count("difftest.oracle_runs", len(oracles))
+        if verdicts.errors:
+            recorder.count("difftest.oracle_errors", len(verdicts.errors))
+    return verdicts

@@ -1,0 +1,303 @@
+"""The fuzz-campaign driver: generate, evaluate, cross-check, shrink.
+
+Determinism contract (the whole point of a *seeded* fuzzer):
+
+* tests are generated **in the parent process** from ``(seed, index)``
+  alone, so ``--jobs`` changes wall-clock, never results;
+* workers only evaluate; their results are re-ordered by index before
+  cross-checking, so completion order never leaks into the report;
+* shrinking runs in the parent, in index order, with a deterministic
+  reduction schedule — re-running a campaign with its recorded seed
+  reproduces every minimized test byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.difftest.compare import Discrepancy, cross_check
+from repro.difftest.generate import FuzzGenerator
+from repro.difftest.oracles import ORACLE_NAMES, evaluate_oracles
+from repro.difftest.shrink import (
+    DEFAULT_MAX_EVALUATIONS,
+    discrepancy_predicate,
+    shrink_test,
+)
+from repro.errors import ReproError
+from repro.litmus.test import LitmusTest
+from repro.verifier.outcomes import DEFAULT_MAX_STATES
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Parameters of one fuzz campaign (picklable; fully determines the
+    campaign's results together with the code version)."""
+
+    seed: int = 0
+    budget: int = 100
+    oracles: Tuple[str, ...] = ORACLE_NAMES
+    memory_variant: str = "fixed"
+    jobs: int = 1
+    max_states: int = DEFAULT_MAX_STATES
+    max_procs: int = 4
+    shrink: bool = True
+    #: How many discrepancies get a shrink pass (on the buggy memory
+    #: nearly every store-carrying test is discrepant; shrinking all of
+    #: them would re-run oracles thousands of times).
+    shrink_limit: int = 5
+    shrink_max_evaluations: int = DEFAULT_MAX_EVALUATIONS
+    observe: bool = False
+
+    def __post_init__(self):
+        if self.budget < 0:
+            raise ReproError(f"budget must be >= 0, got {self.budget}")
+        if self.jobs < 1:
+            raise ReproError(f"jobs must be >= 1, got {self.jobs}")
+        if self.memory_variant not in ("fixed", "buggy"):
+            raise ReproError(
+                f"memory_variant must be 'fixed' or 'buggy', "
+                f"got {self.memory_variant!r}"
+            )
+        for oracle in self.oracles:
+            if oracle not in ORACLE_NAMES:
+                raise ReproError(
+                    f"unknown oracle {oracle!r}; choose from {list(ORACLE_NAMES)}"
+                )
+
+
+@dataclass
+class DiscrepancyEntry:
+    """One discrepancy plus its full test and (optional) minimization."""
+
+    discrepancy: Discrepancy
+    test: LitmusTest
+    memory_variant: str
+    verdicts: Dict = field(default_factory=dict)
+    minimized: Optional[LitmusTest] = None
+    shrink_stats: Optional[Dict] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.discrepancy.kind,
+            "oracles": list(self.discrepancy.oracles),
+            "test": self.test.to_dict(),
+            "discrepancy": self.discrepancy.to_dict(),
+            "memory_variant": self.memory_variant,
+            "verdicts": dict(self.verdicts),
+            "minimized": None
+            if self.minimized is None
+            else self.minimized.to_dict(),
+            "shrink": None if self.shrink_stats is None else dict(self.shrink_stats),
+        }
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of :func:`run_fuzz`."""
+
+    config: FuzzConfig
+    tests_run: int = 0
+    discrepancies: List[DiscrepancyEntry] = field(default_factory=list)
+    #: Per-test oracle refusals: {"test", "index", "oracle", "error"}.
+    oracle_errors: List[Dict] = field(default_factory=list)
+    #: Comparison skips, e.g. {"rtl_incomplete": 3}.
+    skipped: Dict[str, int] = field(default_factory=dict)
+    #: Campaign-wide verdict counts (sc_allowed, verifier_bug_found, ...).
+    verdict_tally: Dict[str, int] = field(default_factory=dict)
+    #: Merged observability counters (empty unless config.observe).
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: Per-test verdict summaries keyed by test name, in index order.
+    verdicts: Dict[str, Dict] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def report(self) -> Dict:
+        from repro.difftest.report import fuzz_report
+
+        return fuzz_report(self)
+
+
+def _fuzz_worker(test, memory_variant, oracles, max_states, observe):
+    """Module-level task body for the fuzz process pool: evaluate one
+    test, cross-check, and ship everything picklable back."""
+    recorder = obs.TraceRecorder() if observe else None
+    try:
+        if recorder is not None:
+            with obs.use_recorder(recorder):
+                verdicts = evaluate_oracles(
+                    test, memory_variant, oracles, max_states=max_states
+                )
+        else:
+            verdicts = evaluate_oracles(
+                test, memory_variant, oracles, max_states=max_states
+            )
+    except ReproError as exc:
+        return {
+            "error": str(exc),
+            "summary": None,
+            "discrepancies": [],
+            "rtl_incomplete": False,
+            "obs": None if recorder is None else recorder.to_state(),
+        }
+    return {
+        "error": None,
+        "summary": verdicts.to_dict(),
+        "discrepancies": cross_check(verdicts),
+        "rtl_incomplete": verdicts.rtl is not None and not verdicts.rtl.complete,
+        "obs": None if recorder is None else recorder.to_state(),
+    }
+
+
+def _tally(tally: Dict[str, int], summary: Dict) -> None:
+    op = summary.get("operational")
+    if op is not None:
+        tally["sc_allowed" if op["allowed"] else "sc_forbidden"] = (
+            tally.get("sc_allowed" if op["allowed"] else "sc_forbidden", 0) + 1
+        )
+        if op["tso_allowed"]:
+            tally["tso_allowed"] = tally.get("tso_allowed", 0) + 1
+    rtl = summary.get("rtl")
+    if rtl is not None and rtl["allowed"]:
+        tally["rtl_allowed"] = tally.get("rtl_allowed", 0) + 1
+    verifier = summary.get("verifier")
+    if verifier is not None and verifier["bug_found"]:
+        tally["verifier_bug_found"] = tally.get("verifier_bug_found", 0) + 1
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    progress: Optional[Callable[[int, str], None]] = None,
+) -> FuzzResult:
+    """Run one differential fuzz campaign.
+
+    ``progress``, when given, is called with ``(index, test_name)`` as
+    each test's evaluation completes (completion order under ``jobs >
+    1``; results themselves are always processed in index order).
+    """
+    t0 = time.perf_counter()
+    result = FuzzResult(config=config)
+    recorder = obs.get_recorder()
+
+    with obs.span("fuzz.generate", seed=config.seed, budget=config.budget):
+        generator = FuzzGenerator(config.seed, max_procs=config.max_procs)
+        tests = generator.suite(config.budget)
+
+    outcomes: Dict[int, Dict] = {}
+    with obs.span("fuzz.evaluate", jobs=config.jobs):
+        if config.jobs > 1 and len(tests) > 1:
+            with ProcessPoolExecutor(max_workers=config.jobs) as pool:
+                futures = {
+                    pool.submit(
+                        _fuzz_worker,
+                        test,
+                        config.memory_variant,
+                        config.oracles,
+                        config.max_states,
+                        config.observe,
+                    ): index
+                    for index, test in enumerate(tests)
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    outcomes[index] = future.result()
+                    if progress is not None:
+                        progress(index, tests[index].name)
+        else:
+            for index, test in enumerate(tests):
+                outcomes[index] = _fuzz_worker(
+                    test,
+                    config.memory_variant,
+                    config.oracles,
+                    config.max_states,
+                    config.observe,
+                )
+                if progress is not None:
+                    progress(index, test.name)
+
+    obs_states = []
+    for index in range(len(tests)):
+        test = tests[index]
+        outcome = outcomes[index]
+        result.tests_run += 1
+        if outcome["obs"] is not None:
+            obs_states.append(outcome["obs"])
+        if outcome["error"] is not None:
+            result.oracle_errors.append(
+                {"test": test.name, "index": index, "error": outcome["error"]}
+            )
+            continue
+        summary = outcome["summary"]
+        result.verdicts[test.name] = summary
+        for oracle, message in summary.get("errors", {}).items():
+            result.oracle_errors.append(
+                {
+                    "test": test.name,
+                    "index": index,
+                    "oracle": oracle,
+                    "error": message,
+                }
+            )
+        if outcome["rtl_incomplete"]:
+            result.skipped["rtl_incomplete"] = (
+                result.skipped.get("rtl_incomplete", 0) + 1
+            )
+        _tally(result.verdict_tally, summary)
+        for discrepancy in outcome["discrepancies"]:
+            discrepancy.seed = config.seed
+            discrepancy.index = index
+            result.discrepancies.append(
+                DiscrepancyEntry(
+                    discrepancy=discrepancy,
+                    test=test,
+                    memory_variant=config.memory_variant,
+                    verdicts=summary,
+                )
+            )
+
+    if config.shrink and result.discrepancies:
+        with obs.span("fuzz.shrink", limit=config.shrink_limit):
+            _shrink_entries(config, result)
+
+    if recorder.enabled:
+        recorder.count("difftest.tests", result.tests_run)
+        recorder.count("difftest.discrepancies", len(result.discrepancies))
+        for state in obs_states:
+            recorder.merge_state(state)
+    if obs_states:
+        result.counters = dict(obs.merge_states(obs_states).counters)
+
+    result.wall_seconds = time.perf_counter() - t0
+    return result
+
+
+def _shrink_entries(config: FuzzConfig, result: FuzzResult) -> None:
+    """Minimize the first ``shrink_limit`` discrepancies in index order;
+    textually-identical minimized tests are flagged as duplicates."""
+    seen_shapes: Dict[str, str] = {}
+    for entry in result.discrepancies[: config.shrink_limit]:
+        predicate = discrepancy_predicate(
+            entry.discrepancy.kind,
+            memory_variant=config.memory_variant,
+            max_states=config.max_states,
+        )
+        try:
+            minimized, stats = shrink_test(
+                entry.test,
+                predicate,
+                max_evaluations=config.shrink_max_evaluations,
+            )
+        except ReproError as exc:
+            entry.shrink_stats = {"error": str(exc)}
+            continue
+        entry.minimized = minimized
+        entry.shrink_stats = stats
+        shape = repr(
+            {k: v for k, v in minimized.to_dict().items() if k != "name"}
+        )
+        if shape in seen_shapes:
+            stats["duplicate_of"] = seen_shapes[shape]
+        else:
+            seen_shapes[shape] = minimized.name

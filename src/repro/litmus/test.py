@@ -182,6 +182,49 @@ class LitmusTest:
     def instruction_count(self) -> int:
         return sum(len(t) for t in self.threads)
 
+    # -- serialization (difftest reproducer artifacts) ------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-safe snapshot with deterministic key order, so byte-for-
+        byte artifact reproducibility follows from test equality."""
+        def op_dict(op: MemOp) -> Dict:
+            if op.is_fence:
+                return {"kind": "F"}
+            if op.is_store:
+                return {"kind": "W", "addr": op.addr, "value": op.value}
+            return {"kind": "R", "addr": op.addr, "out": op.out}
+
+        return {
+            "name": self.name,
+            "threads": [[op_dict(op) for op in t] for t in self.threads],
+            "outcome": {
+                "registers": {r: v for r, v in self.outcome.registers},
+                "final_memory": {a: v for a, v in self.outcome.final_memory},
+            },
+            "initial_memory": {a: v for a, v in self.initial_memory},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LitmusTest":
+        """Rehydrate a :meth:`to_dict` snapshot (validates on the way)."""
+        try:
+            threads = [
+                [MemOp(**op) for op in thread] for thread in data["threads"]
+            ]
+            outcome = Outcome.of(
+                {r: int(v) for r, v in data["outcome"]["registers"].items()},
+                {a: int(v) for a, v in data["outcome"]["final_memory"].items()},
+            )
+            name = data["name"]
+            initial_memory = dict(data.get("initial_memory") or {})
+        except (KeyError, TypeError, LitmusError) as exc:
+            raise LitmusError(
+                f"{data.get('name', '<unnamed>')}: malformed litmus test "
+                f"dict: {exc!r}"
+            ) from exc
+        # validate() inside .of() already prefixes the test name.
+        return cls.of(name, threads, outcome, initial_memory=initial_memory)
+
     def pretty(self) -> str:
         """Multi-line rendering in the style of paper Figure 2."""
         lines = [f"Litmus test {self.name}:"]

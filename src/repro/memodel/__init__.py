@@ -3,6 +3,7 @@
 from repro.memodel.axiomatic import (
     CandidateExecution,
     axiomatic_sc_allowed,
+    axiomatic_sc_outcomes,
     axiomatic_sc_witness,
     enumerate_candidates,
     is_acyclic,
@@ -20,6 +21,7 @@ __all__ = [
     "CandidateExecution",
     "Event",
     "axiomatic_sc_allowed",
+    "axiomatic_sc_outcomes",
     "axiomatic_sc_witness",
     "enumerate_candidates",
     "enumerate_sc_outcomes",

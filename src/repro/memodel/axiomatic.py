@@ -151,6 +151,35 @@ def _matches_outcome(test: LitmusTest, candidate: CandidateExecution) -> bool:
     return True
 
 
+def axiomatic_sc_outcomes(test: LitmusTest):
+    """All (registers, final memory) states of SC candidate executions.
+
+    The axiomatic counterpart of
+    :func:`repro.memodel.operational.enumerate_sc_outcomes`: every
+    acyclic (rf, co) candidate contributes the outcome it induces —
+    all load registers plus the coherence-final memory values.  By the
+    classic operational/axiomatic SC equivalence the two sets must be
+    equal for every well-formed litmus test; the differential harness
+    (:mod:`repro.difftest`) diffs them on every fuzzed test.
+    """
+    outcomes = set()
+    for candidate in enumerate_candidates(test):
+        if not candidate.is_sc():
+            continue
+        regs = {
+            event.out: candidate.load_value(event.eid)
+            for event in candidate.events
+            if event.is_load
+        }
+        outcomes.add(
+            (
+                tuple(sorted(regs.items())),
+                tuple(sorted(candidate.final_memory().items())),
+            )
+        )
+    return frozenset(outcomes)
+
+
 def axiomatic_sc_allowed(test: LitmusTest) -> bool:
     """Outcome observable under axiomatic SC (acyclic po∪rf∪co∪fr)?"""
     return any(

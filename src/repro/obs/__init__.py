@@ -25,6 +25,8 @@ from repro.obs.recorder import (
     use_recorder,
 )
 from repro.obs.report import (
+    DIFFTEST_REPORT_KIND,
+    DIFFTEST_REPRODUCER_KIND,
     SCHEMA_VERSION,
     merge_counters,
     suite_report,
@@ -33,6 +35,8 @@ from repro.obs.report import (
 )
 
 __all__ = [
+    "DIFFTEST_REPORT_KIND",
+    "DIFFTEST_REPRODUCER_KIND",
     "NULL_RECORDER",
     "NullRecorder",
     "SCHEMA_VERSION",

@@ -55,6 +55,14 @@ _AGGREGATE_KEYS = (
 
 REPORT_KIND = "rtlcheck-run-report"
 
+#: Report kind emitted by ``python -m repro fuzz`` (document shape is
+#: owned by :mod:`repro.difftest.report`; the constant lives here so all
+#: report kinds written by the toolchain are discoverable in one place).
+DIFFTEST_REPORT_KIND = "rtlcheck-difftest-report"
+
+#: Artifact kind of a single minimized discrepancy reproducer.
+DIFFTEST_REPRODUCER_KIND = "rtlcheck-difftest-reproducer"
+
 
 def merge_counters(test_dicts: Iterable[Mapping[str, Any]]) -> Dict[str, float]:
     """Sum the per-test counter maps into suite totals."""

@@ -1,0 +1,154 @@
+"""Architectural outcome enumeration for a compiled litmus design.
+
+The explorer walks the design to decide *temporal* properties; this
+module instead answers the *architectural* question behind differential
+testing (:mod:`repro.difftest`): which final (register, memory) states
+can the design reach at all, over every free-input schedule?
+
+It is a plain breadth-first reachability walk over design snapshots —
+no assumptions, no monitors — that harvests the architectural state of
+every drained state it discovers.  A design state is *drained* when the
+design reports its architectural results can no longer change
+(:meth:`~repro.vscale.soc.MultiVScale.drained`); drained states are not
+expanded further, so the walk terminates on any design whose
+non-drained state space is finite (litmus-programmed Multi-V-scale
+always is: unfair schedules cycle through a finite set of stalled
+states and are deduplicated away).
+
+The enumeration is exhaustive unless the ``max_states`` budget trips,
+in which case ``complete`` is ``False`` and callers must treat the
+outcome set as a lower bound (the differential harness skips — and
+counts — comparisons against incomplete enumerations rather than
+reporting spurious discrepancies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Tuple
+
+from repro import obs
+from repro.errors import ReproError
+
+#: One architectural final state: (sorted register values, sorted final
+#: litmus-variable values) — the same shape as
+#: :data:`repro.memodel.operational.FinalState`.
+ArchOutcome = Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, int], ...]]
+
+#: Default budget: comfortably above the largest 4-core suite test
+#: (amd3/buggy discovers ~57k states) while bounding runaway designs.
+DEFAULT_MAX_STATES = 200_000
+
+
+@dataclass
+class ArchEnumeration:
+    """Result of :func:`enumerate_design_outcomes`."""
+
+    outcomes: FrozenSet[ArchOutcome]
+    #: ``False`` when the state budget tripped before exhaustion; the
+    #: outcome set is then only a lower bound.
+    complete: bool
+    states: int = 0
+    transitions: int = 0
+    drained_states: int = 0
+    seconds: float = 0.0
+
+    def observes(self, outcome) -> bool:
+        """Is the litmus candidate ``outcome`` exhibited by any
+        enumerated final state?  (Meaningful even when incomplete:
+        ``True`` is then still a proof of observability.)"""
+        want_regs = dict(outcome.registers)
+        want_mem = dict(outcome.final_memory)
+        for regs, memory in self.outcomes:
+            rmap, mmap = dict(regs), dict(memory)
+            if all(rmap.get(r) == v for r, v in want_regs.items()) and all(
+                mmap.get(a) == v for a, v in want_mem.items()
+            ):
+                return True
+        return False
+
+
+def enumerate_design_outcomes(
+    design, max_states: int = DEFAULT_MAX_STATES
+) -> ArchEnumeration:
+    """Enumerate every architectural final state ``design`` can reach.
+
+    ``design`` must implement the :class:`~repro.rtl.design.Design`
+    protocol plus the architectural-harvest trio ``drained()`` /
+    ``register_results()`` / ``memory_results()`` (both Multi-V-scale
+    SoCs do).
+    """
+    for method in ("drained", "register_results", "memory_results"):
+        if not hasattr(design, method):
+            raise ReproError(
+                f"design {type(design).__name__} lacks {method}(); cannot "
+                "enumerate architectural outcomes"
+            )
+    with obs.span("arch-enumeration") as span:
+        result = _enumerate(design, max_states)
+    result.seconds = span.seconds
+    recorder = obs.get_recorder()
+    if recorder.enabled:
+        recorder.count("arch.states", result.states)
+        recorder.count("arch.transitions", result.transitions)
+        recorder.count("rtl.frames_simulated", result.transitions)
+        if not result.complete:
+            recorder.count("arch.budget_trips", 1)
+    return result
+
+
+def _harvest(design) -> ArchOutcome:
+    return (
+        tuple(sorted(design.register_results().items())),
+        tuple(sorted(design.memory_results().items())),
+    )
+
+
+def _enumerate(design, max_states: int) -> ArchEnumeration:
+    design.reset()
+    root = design.snapshot()
+    seen = {root}
+    outcomes = set()
+    transitions = 0
+    drained_states = 0
+    complete = True
+    design.restore(root)
+    if design.drained():
+        outcomes.add(_harvest(design))
+        frontier: List = []
+    else:
+        frontier = [root]
+    input_space = design.input_space()
+
+    while frontier and complete:
+        next_frontier: List = []
+        for state in frontier:
+            for inputs in input_space:
+                design.restore(state)
+                design.eval_comb(inputs)
+                design.tick()
+                transitions += 1
+                child = design.snapshot()
+                if child in seen:
+                    continue
+                if len(seen) >= max_states:
+                    complete = False
+                    break
+                seen.add(child)
+                design.restore(child)
+                if design.drained():
+                    drained_states += 1
+                    outcomes.add(_harvest(design))
+                else:
+                    next_frontier.append(child)
+            if not complete:
+                break
+        frontier = next_frontier
+
+    return ArchEnumeration(
+        outcomes=frozenset(outcomes),
+        complete=complete,
+        states=len(seen),
+        transitions=transitions,
+        drained_states=drained_states,
+    )

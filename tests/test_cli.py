@@ -184,3 +184,75 @@ class TestObservability:
         assert main(["verify", "lb", "--report", str(report_path)]) == 0
         report = self._load_valid_report(report_path)
         assert report["aggregates"]["num_tests"] == 1
+
+
+class TestFuzzCommand:
+    def test_fuzz_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.seed == 0
+        assert args.budget == 100
+        assert args.memory == "fixed"
+        assert args.jobs == 1
+        assert not args.no_shrink
+        assert args.oracles == ["operational", "axiomatic", "rtl", "verifier"]
+
+    def test_fuzz_parser_flags(self):
+        args = build_parser().parse_args(
+            [
+                "fuzz", "--seed", "5", "--budget", "20", "--jobs", "2",
+                "--oracles", "operational", "rtl", "--memory", "buggy",
+                "--no-shrink", "--reproducers", "out",
+            ]
+        )
+        assert (args.seed, args.budget, args.jobs) == (5, 20, 2)
+        assert args.oracles == ["operational", "rtl"]
+        assert args.no_shrink and args.reproducers == "out"
+
+    def test_fuzz_rejects_unknown_oracle(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--oracles", "psychic"])
+
+    def test_fuzz_fixed_clean_exit_zero(self, tmp_path, capsys):
+        report_path = tmp_path / "fuzz.json"
+        assert (
+            main(
+                [
+                    "fuzz", "--seed", "11", "--budget", "3",
+                    "--oracles", "operational", "axiomatic", "rtl",
+                    "--report", str(report_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 discrepancies" in out
+        import json
+
+        from repro.difftest import validate_fuzz_report
+
+        report = json.loads(report_path.read_text())
+        assert validate_fuzz_report(report) == []
+        assert report["seed"] == 11 and report["tests_run"] == 3
+
+    def test_fuzz_buggy_exits_nonzero_with_reproducers(self, tmp_path, capsys):
+        reproducer_dir = tmp_path / "repros"
+        assert (
+            main(
+                [
+                    "fuzz", "--seed", "11", "--budget", "2",
+                    "--oracles", "operational", "axiomatic", "rtl",
+                    "--memory", "buggy", "--shrink-limit", "1",
+                    "--reproducers", str(reproducer_dir),
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "DISCREPANCY" in out and "minimized" in out
+        import json
+
+        artifacts = sorted(reproducer_dir.glob("fuzz-11-*.json"))
+        assert artifacts
+        document = json.loads(artifacts[0].read_text())
+        assert document["kind"] == "rtlcheck-difftest-reproducer"
+        assert document["minimized"]["threads"]
