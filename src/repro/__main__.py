@@ -23,6 +23,11 @@ Commands
     minimal reproducers (``--reproducers DIR`` writes them as replayable
     JSON artifacts).  Exits non-zero iff a discrepancy was found.  See
     ``docs/difftest.md``.
+``cache {stats,gc,clear}``
+    Inspect and maintain the persistent verification cache: per-tier
+    entry counts and sizes (``stats``), size-bounded LRU eviction
+    (``gc --max-bytes N``), or full removal (``clear``).  See
+    ``docs/caching.md``.
 
 Observability (``verify`` and ``suite``): ``--report FILE`` writes a
 schema-versioned JSON run report (the machine-readable Figures 13/14;
@@ -30,6 +35,12 @@ written even when counterexamples make the command exit non-zero),
 ``--trace FILE`` writes a Chrome trace-event file loadable in
 Perfetto, and ``--metrics`` prints the merged observability counters.
 See ``docs/observability.md``.
+
+Caching (``verify``, ``suite``, ``fuzz``): verification artifacts are
+memoized under ``--cache-dir`` (default ``$REPRO_CACHE_DIR``, else
+``~/.cache/rtlcheck-repro``), making warm re-runs near-instant and
+interrupted campaigns resumable; ``--no-cache`` computes everything
+cold.  See ``docs/caching.md``.
 """
 
 from __future__ import annotations
@@ -43,6 +54,30 @@ from repro.memodel import sc_allowed
 from repro.uhb import microarch_observable
 from repro.uspec import multi_vscale_model
 from repro.verifier.config import DEFAULT_SUITE_JOBS
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="verification cache directory (default: $REPRO_CACHE_DIR, "
+        "else ~/.cache/rtlcheck-repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the verification cache for this run",
+    )
+
+
+def _cache_from_args(args):
+    """The :class:`VerificationCache` selected by the common cache
+    flags, or ``None`` under ``--no-cache``."""
+    if args.no_cache:
+        return None
+    from repro.cache import VerificationCache
+
+    return VerificationCache(args.cache_dir)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -80,6 +115,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the merged observability counters",
     )
+    _add_cache_flags(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -226,6 +262,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the merged observability counters",
     )
+    _add_cache_flags(fuzz)
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain the verification cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="per-tier entry counts and byte totals"
+    )
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used entries down to a size bound"
+    )
+    cache_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        required=True,
+        metavar="N",
+        help="evict LRU entries until the store fits in N bytes",
+    )
+    cache_clear = cache_sub.add_parser(
+        "clear", help="remove every cache entry and checkpoint manifest"
+    )
+    for sub_parser in (cache_stats, cache_gc, cache_clear):
+        sub_parser.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            help="verification cache directory (default: $REPRO_CACHE_DIR, "
+            "else ~/.cache/rtlcheck-repro)",
+        )
     return parser
 
 
@@ -277,11 +342,13 @@ def _wants_observability(args) -> bool:
     return bool(args.report or args.trace or args.metrics)
 
 
-def _emit_observability(args, results, jobs=None) -> None:
+def _emit_observability(args, results, jobs=None, cache=None) -> None:
     """Write the report/trace files and print counters as requested.
 
     Called on every exit path — a bug-finding run still produces its
-    full report before the command returns non-zero.
+    full report before the command returns non-zero.  ``cache``, when
+    given, contributes its statistics snapshot as the report's
+    top-level ``"cache"`` key and a ``--metrics`` section.
     """
     from repro import obs
 
@@ -293,6 +360,7 @@ def _emit_observability(args, results, jobs=None) -> None:
                 config_name=args.config,
                 memory_variant=args.memory,
                 jobs=jobs,
+                cache=None if cache is None else cache.stats.snapshot(),
             ),
         )
         print(f"wrote run report to {args.report}")
@@ -308,13 +376,20 @@ def _emit_observability(args, results, jobs=None) -> None:
         print("\ncounters:")
         for name in sorted(counters):
             print(f"  {name:40s} {counters[name]:.0f}")
+        if cache is not None:
+            stats = cache.stats.snapshot()
+            print("\ncache counters:")
+            for name in sorted(stats):
+                print(f"  {name:40s} {stats[name]:.0f}")
 
 
 def cmd_verify(args) -> int:
+    cache = _cache_from_args(args)
     rtlcheck = RTLCheck(
         config=CONFIGS[args.config],
         use_reach_graph=(args.explorer == "graph"),
         observe=_wants_observability(args),
+        cache=cache,
     )
     result = rtlcheck.verify_test(
         get_test(args.test),
@@ -325,7 +400,9 @@ def cmd_verify(args) -> int:
     for prop in result.properties:
         extra = f" (bound {prop.verdict.bound})" if prop.status == "bounded" else ""
         print(f"  {prop.name}: {prop.status}{extra}")
-    _emit_observability(args, {result.test.name: result}, jobs=1)
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()}")
+    _emit_observability(args, {result.test.name: result}, jobs=1, cache=cache)
     return 1 if result.bug_found else 0
 
 
@@ -352,10 +429,12 @@ def cmd_lint(args) -> int:
 
 
 def cmd_suite(args) -> int:
+    cache = _cache_from_args(args)
     rtlcheck = RTLCheck(
         config=CONFIGS[args.config],
         use_reach_graph=(args.explorer == "graph"),
         observe=_wants_observability(args),
+        cache=cache,
     )
     tests = paper_suite()
     if args.only:
@@ -371,9 +450,11 @@ def cmd_suite(args) -> int:
         tests, memory_variant=args.memory, jobs=args.jobs, progress=progress
     )
     failures = sum(results[test.name].bug_found for test in tests)
+    if cache is not None:
+        print(f"cache: {cache.stats.summary()}")
     # Observability artifacts are written before the exit code is
     # decided, so bug-finding runs still produce their full report.
-    _emit_observability(args, results, jobs=args.jobs)
+    _emit_observability(args, results, jobs=args.jobs, cache=cache)
     if failures:
         print(f"\n{failures} tests produced counterexamples")
     return 1 if failures else 0
@@ -389,6 +470,8 @@ def cmd_fuzz(args) -> int:
     )
     from repro.verifier.outcomes import DEFAULT_MAX_STATES
 
+    from repro.cache import default_cache_dir
+
     observe = bool(args.trace or args.metrics)
     config = FuzzConfig(
         seed=args.seed,
@@ -400,6 +483,9 @@ def cmd_fuzz(args) -> int:
         shrink=not args.no_shrink,
         shrink_limit=args.shrink_limit,
         observe=observe,
+        cache_dir=None
+        if args.no_cache
+        else (args.cache_dir or default_cache_dir()),
     )
     total = config.budget
     done = [0]
@@ -421,6 +507,13 @@ def cmd_fuzz(args) -> int:
         f"skipped={result.skipped or '{}'} "
         f"({result.wall_seconds:.1f}s)"
     )
+    if config.cache_dir is not None:
+        from repro.cache import CacheStats
+
+        stats = CacheStats()
+        stats.merge(result.cache_stats)
+        resumed = f", resumed {result.resumed}/{config.budget}" if result.resumed else ""
+        print(f"cache: {stats.summary()}{resumed}")
     for entry in result.discrepancies:
         line = f"  DISCREPANCY {entry.discrepancy.summary()}"
         if entry.minimized is not None:
@@ -458,6 +551,40 @@ def cmd_fuzz(args) -> int:
     return 1 if result.discrepancies else 0
 
 
+def cmd_cache(args) -> int:
+    from repro.cache import VerificationCache, default_cache_dir
+
+    root = args.cache_dir or default_cache_dir()
+    cache = VerificationCache(root)
+    if args.cache_command == "stats":
+        usage = cache.usage()
+        print(f"cache directory: {root}")
+        print(f"{'tier':10s} {'entries':>8s} {'bytes':>12s}")
+        for tier in ("verdict", "reach", "nfa", "oracle"):
+            row = usage[tier]
+            print(f"{tier:10s} {row['entries']:>8d} {row['bytes']:>12d}")
+        total = usage["total"]
+        print(f"{'total':10s} {total['entries']:>8d} {total['bytes']:>12d}")
+        checkpoints = cache.root / "checkpoints"
+        manifests = (
+            len([p for p in checkpoints.glob("*.json")])
+            if checkpoints.is_dir()
+            else 0
+        )
+        print(f"checkpoint manifests: {manifests}")
+    elif args.cache_command == "gc":
+        evicted = cache.gc(args.max_bytes)
+        total = cache.usage()["total"]
+        print(
+            f"evicted {evicted} entries; {total['entries']} entries "
+            f"({total['bytes']} bytes) remain"
+        )
+    elif args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {root}")
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "show": cmd_show,
@@ -467,6 +594,7 @@ COMMANDS = {
     "lint": cmd_lint,
     "suite": cmd_suite,
     "fuzz": cmd_fuzz,
+    "cache": cmd_cache,
 }
 
 

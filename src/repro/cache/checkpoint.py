@@ -1,0 +1,97 @@
+"""Checkpoint/resume manifests for long suite and fuzz campaigns.
+
+A manifest is a small JSON file under ``<cache root>/checkpoints/``
+recording which units of a campaign have completed.  The heavy lifting
+of a warm restart is done by the artifact tiers — a completed unit's
+verdict (or oracle outcome set) is already on disk under its content
+key — so the manifest's job is bookkeeping: it identifies the campaign
+(by the digest of its full input set), counts what was resumed, and
+lets an interrupted run report "restarted warm: k/N units" instead of
+silently recomputing.
+
+The manifest is rewritten atomically after every completed unit, so a
+``kill -9`` loses at most the in-flight unit.  A manifest whose
+campaign key does not match (the inputs or the code changed) is reset
+rather than trusted — resume never overrides content addressing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from repro.cache.keys import CACHE_FORMAT_VERSION
+from repro.cache.store import CHECKPOINT_KIND
+
+
+class CheckpointManifest:
+    """Completion bookkeeping for one campaign."""
+
+    def __init__(self, path: Path, campaign: str, total: Optional[int] = None):
+        self.path = Path(path)
+        self.campaign = campaign
+        self.total = total
+        self.completed: List[str] = []
+        self.complete = False
+        self._load()
+        #: Units already completed when this run attached (what a
+        #: restart resumes rather than recomputes).
+        self.resumed = len(self.completed)
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return
+        if (
+            data.get("kind") != CHECKPOINT_KIND
+            or data.get("format") != CACHE_FORMAT_VERSION
+            or data.get("campaign") != self.campaign
+        ):
+            return  # stale manifest: start fresh, content keys decide
+        self.completed = [str(u) for u in data.get("completed", [])]
+        self.complete = bool(data.get("complete"))
+        if self.total is None:
+            self.total = data.get("total")
+
+    def _flush(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "kind": CHECKPOINT_KIND,
+            "format": CACHE_FORMAT_VERSION,
+            "campaign": self.campaign,
+            "total": self.total,
+            "completed": self.completed,
+            "complete": self.complete,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+
+    def is_done(self, unit: str) -> bool:
+        return unit in self.completed
+
+    def mark_done(self, unit: str) -> None:
+        """Record one completed unit (idempotent) and flush to disk."""
+        unit = str(unit)
+        if unit not in self.completed:
+            self.completed.append(unit)
+            self._flush()
+
+    def finish(self) -> None:
+        """Mark the whole campaign complete."""
+        self.complete = True
+        self._flush()

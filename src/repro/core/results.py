@@ -234,14 +234,18 @@ class TestVerification:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "TestVerification":
+    def from_dict(
+        cls, data: Dict[str, Any], test: Optional[LitmusTest] = None
+    ) -> "TestVerification":
         """Rehydrate a :meth:`to_dict` snapshot.
 
-        The litmus test is looked up by name in the bundled suite;
-        directives come back as named stubs (their properties are not
-        serialized), so the result supports every quantitative view —
-        ``modeled_hours``, ``proven_fraction``, ``summary()`` — but not
-        re-verification.
+        The litmus test is looked up by name in the bundled suite
+        unless the caller supplies ``test`` (the verification cache
+        stores the full test alongside the snapshot, so cached fuzz
+        verdicts rehydrate too); directives come back as named stubs
+        (their properties are not serialized), so the result supports
+        every quantitative view — ``modeled_hours``,
+        ``proven_fraction``, ``summary()`` — but not re-verification.
         """
         from repro.litmus.suite import get_test
 
@@ -249,7 +253,7 @@ class TestVerification:
             return Directive(kind=kind, name=name, prop=PConst(True))
 
         result = cls(
-            test=get_test(data["test"]),
+            test=test if test is not None else get_test(data["test"]),
             memory_variant=data["memory_variant"],
             config_name=data["config_name"],
             assumptions=[stub("assume", n) for n in data["assumptions"]],

@@ -73,8 +73,17 @@ def _multi_vscale_tso_design_factory(compiled, variant):
 
 
 def _verify_suite_worker(rtlcheck: "RTLCheck", test, memory_variant):
-    """Module-level task body for the suite process pool."""
-    return rtlcheck.verify_test(test, memory_variant)
+    """Module-level task body for the suite process pool.
+
+    Returns ``(result, cache_stats_delta)`` — workers hold their own
+    :class:`~repro.cache.VerificationCache` copy (same on-disk root,
+    zeroed statistics), so the parent merges the deltas by summation.
+    """
+    result = rtlcheck.verify_test(test, memory_variant)
+    stats = None
+    if rtlcheck.cache is not None:
+        stats = rtlcheck.cache.stats.snapshot()
+    return result, stats
 
 
 @dataclass
@@ -110,6 +119,7 @@ class RTLCheck:
         program_mapping_factory=MultiVScaleProgramMapping,
         use_reach_graph: bool = USE_REACH_GRAPH,
         observe: bool = False,
+        cache=None,
     ):
         self.model = model or multi_vscale_model()
         self.config = config
@@ -118,10 +128,18 @@ class RTLCheck:
         self.program_mapping_factory = program_mapping_factory
         self.use_reach_graph = use_reach_graph
         self.observe = observe
+        #: Optional :class:`repro.cache.VerificationCache`.  When set,
+        #: verdicts, reach graphs, and compiled monitors are memoized on
+        #: disk, keyed by the full verification input set (see
+        #: ``docs/caching.md``); ``None`` (the default) verifies cold.
+        self.cache = cache
 
     @classmethod
     def for_tso(
-        cls, config: VerifierConfig = FULL_PROOF, observe: bool = False
+        cls,
+        config: VerifierConfig = FULL_PROOF,
+        observe: bool = False,
+        cache=None,
     ) -> "RTLCheck":
         """RTLCheck configured for Multi-V-scale-TSO: the store-buffer
         design, its µspec model, and the Memory-stage node mapping."""
@@ -133,6 +151,29 @@ class RTLCheck:
             design_factory=_multi_vscale_tso_design_factory,
             node_mapping_factory=MultiVScaleTsoNodeMapping,
             observe=observe,
+            cache=cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Cache keys (content addressing; see docs/caching.md)
+    # ------------------------------------------------------------------
+
+    def verdict_key(
+        self, test: LitmusTest, memory_variant: str, skip_cover_shortcut: bool = False
+    ) -> str:
+        """The content key of ``verify_test(test, memory_variant)``."""
+        from repro.cache import keys
+
+        return keys.verdict_key(
+            test=test,
+            memory_variant=memory_variant,
+            model=self.model,
+            config=self.config,
+            design_factory=self.design_factory,
+            node_mapping_factory=self.node_mapping_factory,
+            program_mapping_factory=self.program_mapping_factory,
+            use_reach_graph=self.use_reach_graph,
+            skip_cover_shortcut=skip_cover_shortcut,
         )
 
     # ------------------------------------------------------------------
@@ -187,18 +228,24 @@ class RTLCheck:
         prior validation).
         """
         test.validate()
+        key = None
+        if self.cache is not None:
+            key = self.verdict_key(test, memory_variant, skip_cover_shortcut)
+            cached = self.cache.load_verdict(key, observe=self.observe)
+            if cached is not None:
+                return cached
         try:
             if not self.observe:
-                return self._verify_test(
-                    test, memory_variant, skip_cover_shortcut
-                )
-            recorder = obs.TraceRecorder()
-            with obs.use_recorder(recorder):
                 result = self._verify_test(
                     test, memory_variant, skip_cover_shortcut
                 )
-            result.obs = recorder.to_state()
-            return result
+            else:
+                recorder = obs.TraceRecorder()
+                with obs.use_recorder(recorder):
+                    result = self._verify_test(
+                        test, memory_variant, skip_cover_shortcut
+                    )
+                result.obs = recorder.to_state()
         except ReproError:
             raise
         except (KeyError, AssertionError, IndexError) as exc:
@@ -206,6 +253,9 @@ class RTLCheck:
                 f"{test.name}: internal error while verifying "
                 f"[{memory_variant}]: {exc!r}"
             ) from exc
+        if key is not None:
+            self.cache.store_verdict(key, result)
+        return result
 
     def _verify_test(
         self,
@@ -223,12 +273,29 @@ class RTLCheck:
             generated = self.generate(test)
             design = self.design_factory(generated.compiled, memory_variant)
             checker = AssumptionChecker(generated.assumptions)
+            reach_key = loaded_transitions = None
             if self.use_reach_graph:
                 # The design's assumption-constrained state space is
                 # explored once into a shared graph; the cover run and
                 # every property walk below replay it without
-                # re-simulating.
-                explorer = GraphExplorer(design, checker)
+                # re-simulating.  With a cache attached, the graph is
+                # additionally persisted across processes and engine
+                # configurations (its key excludes the µspec model and
+                # config — see docs/caching.md).
+                graph = None
+                if self.cache is not None:
+                    from repro.cache import keys as cache_keys
+
+                    reach_key = cache_keys.reach_key(
+                        test=test,
+                        memory_variant=memory_variant,
+                        design_factory=self.design_factory,
+                        program_mapping_factory=self.program_mapping_factory,
+                    )
+                    graph = self.cache.load_graph(reach_key)
+                    if graph is not None:
+                        loaded_transitions = graph.sim_transitions
+                explorer = GraphExplorer(design, checker, graph=graph)
             else:
                 explorer = Explorer(design, checker)
             engine_model = EngineModel(self.config)
@@ -274,7 +341,7 @@ class RTLCheck:
             else:
                 with obs.span("proof", test=test.name) as proof_span:
                     for directive in generated.assertions:
-                        monitor = PropertyMonitor(directive)
+                        monitor = self._monitor(directive)
                         ground_truth = explorer.check_property(
                             monitor, EXPLORER_BUDGET
                         )
@@ -295,15 +362,46 @@ class RTLCheck:
 
             self._record_graph_stats(result, explorer, recorder, wall)
             if recorder.enabled:
+                # A warm-loaded graph carries its own pickled checker
+                # (with the firing counts accumulated when it was
+                # built), so read through the explorer, not the local
+                # ``checker``.
+                assumptions = explorer.assumptions
                 recorder.count(
-                    "assumptions.antecedent_firings", checker.antecedent_firings
+                    "assumptions.antecedent_firings",
+                    assumptions.antecedent_firings,
                 )
-                recorder.count("assumptions.pruned_frames", checker.pruned_frames)
+                recorder.count(
+                    "assumptions.pruned_frames", assumptions.pruned_frames
+                )
                 recorder.count(
                     "cover.fired_assumptions", len(cover.fired_assumptions)
                 )
         result.wall_seconds = wall.seconds
+        if reach_key is not None:
+            graph = explorer.graph
+            if (
+                loaded_transitions is None
+                or graph.sim_transitions > loaded_transitions
+            ):
+                # Persist (or refresh) the shared graph whenever this
+                # run actually simulated new transitions into it.
+                self.cache.store_graph(reach_key, graph)
         return result
+
+    def _monitor(self, directive: Directive) -> PropertyMonitor:
+        """Compile ``directive`` into a :class:`PropertyMonitor`,
+        memoized through the cache's NFA tier when one is attached."""
+        if self.cache is None:
+            return PropertyMonitor(directive)
+        from repro.cache import keys as cache_keys
+
+        key = cache_keys.monitor_key(directive)
+        monitor = self.cache.load_monitor(key)
+        if monitor is None:
+            monitor = PropertyMonitor(directive)
+            self.cache.store_monitor(key, monitor)
+        return monitor
 
     @staticmethod
     def _flush_monitor_counters(recorder, monitor: PropertyMonitor) -> None:
@@ -352,12 +450,20 @@ class RTLCheck:
         memory_variant: str = "fixed",
         jobs: int = 1,
         progress: Optional[Callable[[TestVerification], None]] = None,
+        checkpoint: bool = True,
     ) -> Dict[str, TestVerification]:
         """Verify a suite; returns results keyed by test name, in suite
         order.  ``jobs > 1`` fans tests out over a process pool (tests
         are fully independent).  ``progress``, when given, is called
         with each :class:`TestVerification` as it completes — in
-        completion order for parallel runs."""
+        completion order for parallel runs.
+
+        With a cache attached, cached verdicts are fetched in the
+        parent before any worker is spawned (a fully-warm run never
+        touches the process pool), and — unless ``checkpoint=False`` —
+        a resume manifest is rewritten after every completed test, so
+        an interrupted campaign restarts from the last finished unit.
+        """
         seen = set()
         for test in tests:
             if test.name in seen:
@@ -366,6 +472,24 @@ class RTLCheck:
                     "are keyed by name, a duplicate would be dropped"
                 )
             seen.add(test.name)
+        manifest = None
+        if self.cache is not None and checkpoint:
+            from repro.cache import keys as cache_keys
+
+            campaign = cache_keys.campaign_key(
+                "suite",
+                {
+                    "memory_variant": memory_variant,
+                    "observe": self.observe,
+                    "verdicts": [
+                        self.verdict_key(test, memory_variant)
+                        for test in tests
+                    ],
+                },
+            )
+            manifest = self.cache.checkpoint(campaign, total=len(tests))
+        results: Dict[str, TestVerification] = {}
+        pending = list(tests)
         if jobs > 1 and len(tests) > 1:
             try:
                 pickle.dumps(self)
@@ -375,24 +499,49 @@ class RTLCheck:
                     "custom factories must be module-level callables "
                     f"({exc})"
                 ) from exc
+            if self.cache is not None:
+                # Parent-side prefetch: verdict-tier hits skip process
+                # pool dispatch entirely.
+                pending = []
+                for test in tests:
+                    cached = self.cache.load_verdict(
+                        self.verdict_key(test, memory_variant),
+                        observe=self.observe,
+                        record_miss=False,
+                    )
+                    if cached is None:
+                        pending.append(test)
+                        continue
+                    results[test.name] = cached
+                    if manifest is not None:
+                        manifest.mark_done(test.name)
+                    if progress is not None:
+                        progress(cached)
+        if jobs > 1 and len(pending) > 1:
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 futures = {
                     pool.submit(
                         _verify_suite_worker, self, test, memory_variant
                     ): test.name
-                    for test in tests
+                    for test in pending
                 }
-                completed: Dict[str, TestVerification] = {}
                 for future in as_completed(futures):
-                    result = future.result()
-                    completed[futures[future]] = result
+                    result, stats = future.result()
+                    results[futures[future]] = result
+                    if self.cache is not None and stats:
+                        self.cache.stats.merge(stats)
+                    if manifest is not None:
+                        manifest.mark_done(futures[future])
                     if progress is not None:
                         progress(result)
-                return {test.name: completed[test.name] for test in tests}
-        results: Dict[str, TestVerification] = {}
-        for test in tests:
-            result = self.verify_test(test, memory_variant)
-            results[test.name] = result
-            if progress is not None:
-                progress(result)
-        return results
+        else:
+            for test in pending:
+                result = self.verify_test(test, memory_variant)
+                results[test.name] = result
+                if manifest is not None:
+                    manifest.mark_done(test.name)
+                if progress is not None:
+                    progress(result)
+        if manifest is not None:
+            manifest.finish()
+        return {test.name: results[test.name] for test in tests}

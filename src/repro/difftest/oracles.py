@@ -36,6 +36,27 @@ ORACLE_NAMES = ("operational", "axiomatic", "rtl", "verifier")
 OutcomeSet = FrozenSet[Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, int], ...]]]
 
 
+def outcomes_to_json(outcomes: OutcomeSet) -> List:
+    """Canonical JSON rendering of an outcome set (sorted, so byte
+    stable — cache entries and reports digest identically across
+    runs)."""
+    return sorted(
+        [[list(pair) for pair in regs], [list(pair) for pair in mem]]
+        for regs, mem in outcomes
+    )
+
+
+def outcomes_from_json(data) -> OutcomeSet:
+    """Inverse of :func:`outcomes_to_json`."""
+    return frozenset(
+        (
+            tuple((name, value) for name, value in regs),
+            tuple((addr, value) for addr, value in mem),
+        )
+        for regs, mem in data
+    )
+
+
 @dataclass
 class TestVerdicts:
     """Everything the selected oracle layers concluded about one test."""
@@ -184,6 +205,7 @@ def evaluate_oracles(
     oracles: Tuple[str, ...] = ORACLE_NAMES,
     max_states: int = DEFAULT_MAX_STATES,
     rtlcheck=None,
+    cache=None,
 ) -> TestVerdicts:
     """Run the selected oracle layers on ``test``.
 
@@ -191,6 +213,14 @@ def evaluate_oracles(
     well-formedness check is recorded in ``verdicts.errors`` and its
     comparisons are skipped — a single odd test must not abort a fuzz
     campaign.  (Malformed tests still raise: that is a generator bug.)
+
+    ``cache``, when given, is a :class:`repro.cache.VerificationCache`:
+    the operational/axiomatic outcome sets (design-independent keys) and
+    the RTL enumeration (keyed by memory variant and state budget) are
+    memoized through its oracle tier, and the verifier layer runs an
+    :class:`RTLCheck` wired to the same cache.  Warm hits replay the
+    same observability counters the cold computation records, so a
+    cached fuzz campaign's report aggregates match an uncached one's.
     """
     check_wellformed(test)
     for oracle in oracles:
@@ -200,31 +230,117 @@ def evaluate_oracles(
             )
     verdicts = TestVerdicts(test=test, memory_variant=memory_variant)
     recorder = obs.get_recorder()
+    if cache is not None:
+        from repro.cache import keys as cache_keys
 
     if "operational" in oracles:
         with obs.span("oracle.operational", test=test.name):
-            outcomes, allowed, tso = operational_verdicts(test)
+            payload = key = None
+            if cache is not None:
+                key = cache_keys.oracle_key("operational", test)
+                payload = cache.load_oracle(key)
+            if payload is None:
+                outcomes, allowed, tso = operational_verdicts(test)
+                if key is not None:
+                    cache.store_oracle(
+                        key,
+                        {
+                            "outcomes": outcomes_to_json(outcomes),
+                            "allowed": allowed,
+                            "tso_allowed": tso,
+                        },
+                    )
+            else:
+                outcomes = outcomes_from_json(payload["outcomes"])
+                allowed = payload["allowed"]
+                tso = payload["tso_allowed"]
         verdicts.op_outcomes = outcomes
         verdicts.op_allowed = allowed
         verdicts.tso_allowed_ = tso
     if "axiomatic" in oracles:
         with obs.span("oracle.axiomatic", test=test.name):
-            outcomes, allowed = axiomatic_verdicts(test)
+            payload = key = None
+            if cache is not None:
+                key = cache_keys.oracle_key("axiomatic", test)
+                payload = cache.load_oracle(key)
+            if payload is None:
+                outcomes, allowed = axiomatic_verdicts(test)
+                if key is not None:
+                    cache.store_oracle(
+                        key,
+                        {
+                            "outcomes": outcomes_to_json(outcomes),
+                            "allowed": allowed,
+                        },
+                    )
+            else:
+                outcomes = outcomes_from_json(payload["outcomes"])
+                allowed = payload["allowed"]
         verdicts.ax_outcomes = outcomes
         verdicts.ax_allowed = allowed
     if "rtl" in oracles:
         with obs.span("oracle.rtl", test=test.name, memory=memory_variant):
             try:
-                verdicts.rtl = rtl_verdicts(
-                    test, memory_variant, max_states=max_states
-                )
-                verdicts.rtl_allowed = verdicts.rtl.observes(test.outcome)
+                enum = key = None
+                if cache is not None:
+                    key = cache_keys.oracle_key(
+                        "rtl", test, memory_variant, max_states
+                    )
+                    payload = cache.load_oracle(key)
+                    if payload is not None:
+                        enum = ArchEnumeration(
+                            outcomes=outcomes_from_json(payload["outcomes"]),
+                            complete=payload["complete"],
+                            states=payload["states"],
+                            transitions=payload["transitions"],
+                            drained_states=payload["drained_states"],
+                            seconds=payload["seconds"],
+                        )
+                        if recorder.enabled:
+                            # Replay the counters the cold enumeration
+                            # records (repro.verifier.outcomes), so a
+                            # warm campaign aggregates identically.
+                            recorder.count("arch.states", enum.states)
+                            recorder.count("arch.transitions", enum.transitions)
+                            recorder.count(
+                                "rtl.frames_simulated", enum.transitions
+                            )
+                            if not enum.complete:
+                                recorder.count("arch.budget_trips", 1)
+                if enum is None:
+                    enum = rtl_verdicts(
+                        test, memory_variant, max_states=max_states
+                    )
+                    if key is not None:
+                        cache.store_oracle(
+                            key,
+                            {
+                                "outcomes": outcomes_to_json(enum.outcomes),
+                                "complete": enum.complete,
+                                "states": enum.states,
+                                "transitions": enum.transitions,
+                                "drained_states": enum.drained_states,
+                                "seconds": enum.seconds,
+                            },
+                        )
+                verdicts.rtl = enum
+                verdicts.rtl_allowed = enum.observes(test.outcome)
             except ReproError as exc:
                 verdicts.errors["rtl"] = str(exc)
     if "verifier" in oracles:
         with obs.span("oracle.verifier", test=test.name, memory=memory_variant):
             try:
-                result = verifier_verdicts(test, memory_variant, rtlcheck)
+                checker = rtlcheck
+                if checker is None and cache is not None:
+                    from repro.core.rtlcheck import RTLCheck
+
+                    # Observed when recording: the verifier's counters
+                    # then ride on ``result.obs`` and are merged below,
+                    # whether computed cold or replayed from the cache.
+                    checker = RTLCheck(cache=cache, observe=recorder.enabled)
+                result = verifier_verdicts(test, memory_variant, checker)
+                if recorder.enabled and result.obs:
+                    recorder.merge_state(result.obs)
                 verdicts.verifier_bug_found = result.bug_found
                 verdicts.verifier_verified_by_cover = result.verified_by_cover
                 verdicts.verifier_failing_properties = [

@@ -51,6 +51,11 @@ class FuzzConfig:
     shrink_limit: int = 5
     shrink_max_evaluations: int = DEFAULT_MAX_EVALUATIONS
     observe: bool = False
+    #: Root of a :class:`repro.cache.VerificationCache`; ``None`` (the
+    #: default) evaluates every oracle cold.  With a cache, oracle
+    #: outcome sets and verifier verdicts are memoized across runs and
+    #: the campaign checkpoints after every completed test.
+    cache_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.budget < 0:
@@ -112,6 +117,11 @@ class FuzzResult:
     counters: Dict[str, float] = field(default_factory=dict)
     #: Per-test verdict summaries keyed by test name, in index order.
     verdicts: Dict[str, Dict] = field(default_factory=dict)
+    #: Merged cache statistics (empty unless config.cache_dir).
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+    #: Tests already completed by an interrupted run of this same
+    #: campaign (0 without a cache or on a fresh campaign).
+    resumed: int = 0
     wall_seconds: float = 0.0
 
     def report(self) -> Dict:
@@ -120,19 +130,29 @@ class FuzzResult:
         return fuzz_report(self)
 
 
-def _fuzz_worker(test, memory_variant, oracles, max_states, observe):
+def _fuzz_worker(test, memory_variant, oracles, max_states, observe, cache_dir=None):
     """Module-level task body for the fuzz process pool: evaluate one
-    test, cross-check, and ship everything picklable back."""
+    test, cross-check, and ship everything picklable back (including
+    this evaluation's cache-statistics delta, merged by the parent)."""
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import VerificationCache
+
+        cache = VerificationCache(cache_dir)
     recorder = obs.TraceRecorder() if observe else None
     try:
         if recorder is not None:
             with obs.use_recorder(recorder):
                 verdicts = evaluate_oracles(
-                    test, memory_variant, oracles, max_states=max_states
+                    test,
+                    memory_variant,
+                    oracles,
+                    max_states=max_states,
+                    cache=cache,
                 )
         else:
             verdicts = evaluate_oracles(
-                test, memory_variant, oracles, max_states=max_states
+                test, memory_variant, oracles, max_states=max_states, cache=cache
             )
     except ReproError as exc:
         return {
@@ -141,6 +161,7 @@ def _fuzz_worker(test, memory_variant, oracles, max_states, observe):
             "discrepancies": [],
             "rtl_incomplete": False,
             "obs": None if recorder is None else recorder.to_state(),
+            "cache_stats": None if cache is None else cache.stats.snapshot(),
         }
     return {
         "error": None,
@@ -148,6 +169,7 @@ def _fuzz_worker(test, memory_variant, oracles, max_states, observe):
         "discrepancies": cross_check(verdicts),
         "rtl_incomplete": verdicts.rtl is not None and not verdicts.rtl.complete,
         "obs": None if recorder is None else recorder.to_state(),
+        "cache_stats": None if cache is None else cache.stats.snapshot(),
     }
 
 
@@ -181,6 +203,26 @@ def run_fuzz(
     result = FuzzResult(config=config)
     recorder = obs.get_recorder()
 
+    cache = manifest = None
+    if config.cache_dir is not None:
+        from repro.cache import VerificationCache, keys as cache_keys
+
+        cache = VerificationCache(config.cache_dir)
+        campaign = cache_keys.campaign_key(
+            "fuzz",
+            {
+                "seed": config.seed,
+                "budget": config.budget,
+                "oracles": list(config.oracles),
+                "memory_variant": config.memory_variant,
+                "max_states": config.max_states,
+                "max_procs": config.max_procs,
+                "observe": config.observe,
+            },
+        )
+        manifest = cache.checkpoint(campaign, total=config.budget)
+        result.resumed = manifest.resumed
+
     with obs.span("fuzz.generate", seed=config.seed, budget=config.budget):
         generator = FuzzGenerator(config.seed, max_procs=config.max_procs)
         tests = generator.suite(config.budget)
@@ -197,12 +239,15 @@ def run_fuzz(
                         config.oracles,
                         config.max_states,
                         config.observe,
+                        config.cache_dir,
                     ): index
                     for index, test in enumerate(tests)
                 }
                 for future in as_completed(futures):
                     index = futures[future]
                     outcomes[index] = future.result()
+                    if manifest is not None:
+                        manifest.mark_done(str(index))
                     if progress is not None:
                         progress(index, tests[index].name)
         else:
@@ -213,7 +258,10 @@ def run_fuzz(
                     config.oracles,
                     config.max_states,
                     config.observe,
+                    config.cache_dir,
                 )
+                if manifest is not None:
+                    manifest.mark_done(str(index))
                 if progress is not None:
                     progress(index, test.name)
 
@@ -224,6 +272,8 @@ def run_fuzz(
         result.tests_run += 1
         if outcome["obs"] is not None:
             obs_states.append(outcome["obs"])
+        if cache is not None and outcome.get("cache_stats"):
+            cache.stats.merge(outcome["cache_stats"])
         if outcome["error"] is not None:
             result.oracle_errors.append(
                 {"test": test.name, "index": index, "error": outcome["error"]}
@@ -268,6 +318,10 @@ def run_fuzz(
             recorder.merge_state(state)
     if obs_states:
         result.counters = dict(obs.merge_states(obs_states).counters)
+    if cache is not None:
+        result.cache_stats = cache.stats.snapshot()
+    if manifest is not None:
+        manifest.finish()
 
     result.wall_seconds = time.perf_counter() - t0
     return result

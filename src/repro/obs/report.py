@@ -104,17 +104,27 @@ def suite_report(
     config_name: Optional[str] = None,
     memory_variant: Optional[str] = None,
     jobs: Optional[int] = None,
+    cache: Optional[Mapping[str, float]] = None,
 ) -> Dict[str, Any]:
     """Assemble the run report for ``results`` (name ->
     :class:`~repro.core.results.TestVerification`, as returned by
-    :meth:`RTLCheck.verify_suite`)."""
+    :meth:`RTLCheck.verify_suite`).
+
+    ``cache``, when given, is a cache-statistics snapshot
+    (:meth:`repro.cache.CacheStats.snapshot`); it is recorded as a
+    top-level ``"cache"`` key.  Cache statistics are run-relative (a
+    warm run has hits where a cold run had misses), so they live
+    *outside* ``aggregates`` and do not participate in the
+    aggregate-equals-sum invariant — the ``tests`` array of a fully-warm
+    run is byte-identical to the cold run that populated the cache.
+    """
     ordered = list(results.values())
     test_dicts = [result.to_dict() for result in ordered]
     if config_name is None and ordered:
         config_name = ordered[0].config_name
     if memory_variant is None and ordered:
         memory_variant = ordered[0].memory_variant
-    return {
+    report = {
         "schema_version": SCHEMA_VERSION,
         "kind": REPORT_KIND,
         "config": config_name,
@@ -123,6 +133,9 @@ def suite_report(
         "tests": test_dicts,
         "aggregates": _aggregates(test_dicts),
     }
+    if cache is not None:
+        report["cache"] = dict(cache)
+    return report
 
 
 def validate_report(report: Mapping[str, Any]) -> List[str]:

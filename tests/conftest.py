@@ -1,0 +1,17 @@
+"""Shared test fixtures.
+
+Every test runs with ``REPRO_CACHE_DIR`` pointed at its own temporary
+directory, so CLI invocations (which cache by default) never read or
+write the developer's real ``~/.cache/rtlcheck-repro`` — tests stay
+hermetic and order-independent, and a test that *wants* a warm cache
+warms its own directory explicitly.
+"""
+
+import pytest
+
+from repro.cache import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "repro-cache"))

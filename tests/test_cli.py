@@ -256,3 +256,73 @@ class TestFuzzCommand:
         document = json.loads(artifacts[0].read_text())
         assert document["kind"] == "rtlcheck-difftest-reproducer"
         assert document["minimized"]["threads"]
+
+
+class TestCacheCLI:
+    """The cache flags and the ``cache {stats,gc,clear}`` subcommand.
+
+    The autouse conftest fixture points ``$REPRO_CACHE_DIR`` at a
+    per-test temporary directory, so these runs are hermetic.
+    """
+
+    def test_cache_flags_default(self):
+        for command in (["verify", "mp"], ["suite"], ["fuzz"]):
+            args = build_parser().parse_args(command)
+            assert args.cache_dir is None
+            assert not args.no_cache
+
+    def test_cache_subcommand_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_gc_requires_max_bytes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "gc"])
+
+    def test_verify_warm_run_reports_hit(self, capsys):
+        assert main(["verify", "mp"]) == 0
+        assert "cache: verdict 0/1 hits" in capsys.readouterr().out
+        assert main(["verify", "mp"]) == 0
+        assert "cache: verdict 1/1 hits" in capsys.readouterr().out
+
+    def test_no_cache_disables_summary_and_store(self, capsys):
+        assert main(["verify", "mp", "--no-cache"]) == 0
+        assert "cache:" not in capsys.readouterr().out
+        # Nothing was stored: a later cached run still misses.
+        assert main(["verify", "mp"]) == 0
+        assert "cache: verdict 0/1 hits" in capsys.readouterr().out
+
+    def test_stats_gc_clear_roundtrip(self, capsys):
+        assert main(["verify", "mp"]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache directory:" in out
+        assert "verdict" in out and "total" in out
+        assert "checkpoint manifests:" in out
+
+        assert main(["cache", "gc", "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out and "0 entries (0 bytes) remain" in out
+
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+
+        # After clear, the next run is cold again.
+        assert main(["verify", "mp"]) == 0
+        assert "cache: verdict 0/1 hits" in capsys.readouterr().out
+
+    def test_explicit_cache_dir_flag(self, tmp_path, capsys):
+        cache_dir = tmp_path / "explicit"
+        assert main(["verify", "mp", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert (cache_dir / "verdicts").is_dir()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        assert str(cache_dir) in capsys.readouterr().out
+
+    def test_suite_warm_run_all_hits(self, capsys):
+        assert main(["suite", "--only", "mp", "sb"]) == 0
+        assert "cache: verdict 0/2 hits" in capsys.readouterr().out
+        assert main(["suite", "--only", "mp", "sb"]) == 0
+        assert "cache: verdict 2/2 hits" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Documentation link checker.
+
+Checks two properties, both enforced in CI and by
+``tests/test_docs_links.py``:
+
+1. every relative markdown link in the repo's ``*.md`` files (repo root
+   and ``docs/``) resolves to an existing file;
+2. every document under ``docs/`` is reachable from ``docs/index.md``
+   by following relative links — the index really is a complete map.
+
+External (``http(s)://``, ``mailto:``) and pure-anchor (``#...``)
+links are skipped; fragments are stripped before resolution.  Exits
+non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Set
+
+#: Inline markdown links: [text](target).  Reference-style links are not
+#: used in this repo.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent
+
+
+def markdown_files(root: Path) -> List[Path]:
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def relative_links(path: Path) -> Iterable[str]:
+    for match in _LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        yield target
+
+
+def resolve(source: Path, target: str) -> Path:
+    return (source.parent / target.split("#", 1)[0]).resolve()
+
+
+def check_links(root: Path) -> List[str]:
+    """All broken relative links under ``root``, one message each."""
+    problems = []
+    for path in markdown_files(root):
+        for target in relative_links(path):
+            resolved = resolve(path, target)
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}: broken link {target!r}"
+                )
+    return problems
+
+
+def check_index_coverage(root: Path) -> List[str]:
+    """Docs not reachable from ``docs/index.md`` via relative links."""
+    docs = root / "docs"
+    index = docs / "index.md"
+    if not index.is_file():
+        return ["docs/index.md does not exist"]
+    reachable: Set[Path] = {index}
+    frontier = [index]
+    while frontier:
+        current = frontier.pop()
+        for target in relative_links(current):
+            resolved = resolve(current, target)
+            if (
+                resolved.suffix == ".md"
+                and resolved.is_file()
+                and docs in resolved.parents
+                and resolved not in reachable
+            ):
+                reachable.add(resolved)
+                frontier.append(resolved)
+    return [
+        f"docs/{path.name} is not reachable from docs/index.md"
+        for path in sorted(docs.glob("*.md"))
+        if path not in reachable
+    ]
+
+
+def main() -> int:
+    root = repo_root()
+    problems = check_links(root) + check_index_coverage(root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        count = len(markdown_files(root))
+        print(f"doc links OK ({count} markdown files checked)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
