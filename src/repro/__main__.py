@@ -101,6 +101,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "the per-property re-exploring explorer",
     )
     parser.add_argument(
+        "--state-backend",
+        choices=["array", "dict"],
+        default="array",
+        help="design snapshot representation: interned flat slot "
+        "vectors with batched expansion (default) or the original "
+        "nested-tuple snapshots (the equivalence reference)",
+    )
+    parser.add_argument(
         "--report",
         metavar="FILE",
         help="write a schema-versioned JSON run report to FILE",
@@ -390,6 +398,7 @@ def cmd_verify(args) -> int:
         use_reach_graph=(args.explorer == "graph"),
         observe=_wants_observability(args),
         cache=cache,
+        state_backend=args.state_backend,
     )
     result = rtlcheck.verify_test(
         get_test(args.test),
@@ -435,6 +444,7 @@ def cmd_suite(args) -> int:
         use_reach_graph=(args.explorer == "graph"),
         observe=_wants_observability(args),
         cache=cache,
+        state_backend=args.state_backend,
     )
     tests = paper_suite()
     if args.only:

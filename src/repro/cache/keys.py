@@ -173,9 +173,16 @@ def verdict_key(
     program_mapping_factory,
     use_reach_graph: bool,
     skip_cover_shortcut: bool,
+    state_backend: str = "array",
 ) -> str:
     """Key of one :class:`TestVerification` — the full input closure of
-    :meth:`RTLCheck.verify_test`."""
+    :meth:`RTLCheck.verify_test`.
+
+    ``state_backend`` is keyed even though the two backends produce
+    identical verdicts by contract: their obs counters differ
+    (``state.*`` exists only under ``array``), and an entry must replay
+    exactly what its backend would compute.
+    """
     return digest_payload(
         {
             "tier": "verdict",
@@ -190,17 +197,27 @@ def verdict_key(
             "program_mapping": qualname(program_mapping_factory),
             "use_reach_graph": bool(use_reach_graph),
             "skip_cover_shortcut": bool(skip_cover_shortcut),
+            "state_backend": state_backend,
         }
     )
 
 
-def reach_key(*, test, memory_variant: str, design_factory, program_mapping_factory) -> str:
+def reach_key(
+    *,
+    test,
+    memory_variant: str,
+    design_factory,
+    program_mapping_factory,
+    state_backend: str = "array",
+) -> str:
     """Key of one shared :class:`~repro.verifier.reach.ReachGraph`.
 
     Deliberately independent of the µspec model and engine
     configuration: the assumption-constrained design transition relation
     is the same for every axiom set and Table-1 row, so one graph serves
-    them all."""
+    them all.  ``state_backend`` *is* keyed: a pickled graph's node
+    snapshots are interned ids on one backend and nested tuples on the
+    other — never interchangeable."""
     return digest_payload(
         {
             "tier": "reach",
@@ -210,6 +227,7 @@ def reach_key(*, test, memory_variant: str, design_factory, program_mapping_fact
             "memory_variant": memory_variant,
             "design_factory": qualname(design_factory),
             "program_mapping": qualname(program_mapping_factory),
+            "state_backend": state_backend,
         }
     )
 

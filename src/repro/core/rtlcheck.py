@@ -120,7 +120,13 @@ class RTLCheck:
         use_reach_graph: bool = USE_REACH_GRAPH,
         observe: bool = False,
         cache=None,
+        state_backend: str = "array",
     ):
+        if state_backend not in ("array", "dict"):
+            raise ReproError(
+                f"unknown state backend {state_backend!r}; "
+                "choose 'array' or 'dict'"
+            )
         self.model = model or multi_vscale_model()
         self.config = config
         self.design_factory = design_factory or _multi_vscale_design_factory
@@ -128,6 +134,12 @@ class RTLCheck:
         self.program_mapping_factory = program_mapping_factory
         self.use_reach_graph = use_reach_graph
         self.observe = observe
+        #: Snapshot representation applied to factory-built designs:
+        #: ``"array"`` (interned flat vectors + batched expansion — the
+        #: default) or ``"dict"`` (nested tuples, the equivalence
+        #: reference).  Designs without a slot layout stay on ``dict``
+        #: regardless (``docs/performance.md``).
+        self.state_backend = state_backend
         #: Optional :class:`repro.cache.VerificationCache`.  When set,
         #: verdicts, reach graphs, and compiled monitors are memoized on
         #: disk, keyed by the full verification input set (see
@@ -174,6 +186,7 @@ class RTLCheck:
             program_mapping_factory=self.program_mapping_factory,
             use_reach_graph=self.use_reach_graph,
             skip_cover_shortcut=skip_cover_shortcut,
+            state_backend=self.state_backend,
         )
 
     # ------------------------------------------------------------------
@@ -272,6 +285,7 @@ class RTLCheck:
         ) as wall:
             generated = self.generate(test)
             design = self.design_factory(generated.compiled, memory_variant)
+            self._apply_state_backend(design)
             checker = AssumptionChecker(generated.assumptions)
             reach_key = loaded_transitions = None
             if self.use_reach_graph:
@@ -291,6 +305,7 @@ class RTLCheck:
                         memory_variant=memory_variant,
                         design_factory=self.design_factory,
                         program_mapping_factory=self.program_mapping_factory,
+                        state_backend=self.state_backend,
                     )
                     graph = self.cache.load_graph(reach_key)
                     if graph is not None:
@@ -389,6 +404,21 @@ class RTLCheck:
                 self.cache.store_graph(reach_key, graph)
         return result
 
+    def _apply_state_backend(self, design) -> None:
+        """Put a factory-built design on the configured state backend.
+
+        Requesting ``"array"`` on a design without a slot layout (for
+        example Multi-V-scale-TSO, whose store buffers are
+        variable-size) is a silent no-op: the design keeps its dict
+        snapshots and every explorer takes the classic path.
+        """
+        backend = getattr(design, "state_backend", None)
+        if self.state_backend == "dict":
+            if backend == "array":
+                design.disable_array_state()
+        elif backend == "dict" and hasattr(design, "enable_array_state"):
+            design.enable_array_state()
+
     def _monitor(self, directive: Directive) -> PropertyMonitor:
         """Compile ``directive`` into a :class:`PropertyMonitor`,
         memoized through the cache's NFA tier when one is attached."""
@@ -421,6 +451,19 @@ class RTLCheck:
         result: TestVerification, explorer, recorder=None, wall=None
     ) -> None:
         graph = getattr(explorer, "graph", None)
+        design = getattr(explorer, "design", None)
+        if design is None and graph is not None:
+            # The graph explorer simulates exclusively through the
+            # graph's design (a warm-loaded graph carries its own).
+            design = graph.design
+        if (
+            recorder is not None
+            and recorder.enabled
+            and getattr(design, "state_backend", "dict") == "array"
+        ):
+            recorder.count("state.states_interned", design.states_interned)
+            recorder.count("state.batch_expansions", design.batch_expansions)
+            recorder.count("state.slots_copied", design.slots_copied)
         if graph is None:
             return
         result.graph_build_seconds = graph.build_seconds

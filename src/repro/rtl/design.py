@@ -12,8 +12,25 @@ Each cycle has two phases, the standard simulator discipline:
    ``eval_comb`` (the rising clock edge).
 
 Designs also expose :meth:`Design.snapshot` / :meth:`Design.restore`,
-returning hashable state tuples; the property verifier uses these for
+returning hashable states; the property verifier uses these for
 explicit-state exploration with deduplication.
+
+Two state backends implement that protocol (``docs/performance.md``):
+
+* ``dict`` — the original nested-tuple snapshots, built by each
+  subclass's :meth:`Design.snapshot_state` / :meth:`Design.restore_state`
+  (or a direct ``snapshot``/``restore`` override).
+* ``array`` — a flat slot vector.  The design declares a static
+  :class:`SlotLayout` once; ``snapshot()`` writes every slot into a
+  reused buffer and hash-conses the resulting tuple through a
+  :class:`StateInterner`, so a snapshot is just a dense integer id and
+  ``restore()`` a bulk slot copy.  Enabled via
+  :meth:`Design.enable_array_state` on designs that provide a layout.
+
+On top of either backend, :meth:`Design.step_batch` expands *all* free
+input choices of one state in a single call; designs whose settled
+frame does not depend on a free input (Multi-V-scale's arbiter grant)
+override it to share one combinational evaluation across every choice.
 
 Free inputs (for Multi-V-scale: the arbiter's grant select, paper §5.2)
 are declared via :meth:`Design.free_inputs`; a formal verifier explores
@@ -23,7 +40,18 @@ every combination, a simulator picks one per cycle.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+from array import array
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro import obs
 from repro.errors import RtlError
@@ -48,9 +76,110 @@ class FreeInput:
         return f"FreeInput({self.name!r}, {self.cardinality})"
 
 
+class SlotLayout:
+    """A design's static flat-state declaration: named blocks of
+    consecutive integer slots.  Built once per design instance; the
+    total :attr:`size` fixes the length of every state vector."""
+
+    def __init__(self):
+        self._blocks: List[Tuple[str, int, int]] = []
+        self._size = 0
+
+    def block(self, name: str, count: int) -> int:
+        """Append ``count`` slots named ``name``; returns their base
+        index."""
+        if count < 0:
+            raise RtlError(f"slot block {name!r} needs count >= 0")
+        base = self._size
+        self._blocks.append((name, base, count))
+        self._size += count
+        return base
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def blocks(self) -> List[Tuple[str, int, int]]:
+        """``(name, base, count)`` triples in declaration order."""
+        return list(self._blocks)
+
+    def describe(self) -> str:
+        lines = [f"{base:5d}..{base + count - 1:<5d} {name} ({count})"
+                 for name, base, count in self._blocks if count]
+        return "\n".join(lines)
+
+
+class StateInterner:
+    """Hash-consing of flat state tuples into dense integer ids.
+
+    Equal state vectors always intern to the same id, so snapshot
+    equality and set membership degrade to integer comparisons, and a
+    reachability graph holds each distinct state's storage exactly once
+    no matter how many nodes reference it.
+
+    Pickling uses a compact packed form: all slot values fit signed
+    64-bit, so the whole table serializes as one ``array('q')`` plus
+    the vector width (the id ordering — and therefore every consumer's
+    node numbering — survives the round trip bit for bit).
+    """
+
+    def __init__(self):
+        self._ids: Dict[Tuple[int, ...], int] = {}
+        self._states: List[Tuple[int, ...]] = []
+
+    def intern(self, state: Tuple[int, ...]) -> int:
+        sid = self._ids.get(state)
+        if sid is None:
+            sid = len(self._states)
+            self._ids[state] = sid
+            self._states.append(state)
+        return sid
+
+    def state(self, sid: int) -> Tuple[int, ...]:
+        return self._states[sid]
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    # -- compact pickling ----------------------------------------------
+
+    def __getstate__(self):
+        states = self._states
+        width = len(states[0]) if states else 0
+        flat = array("q")
+        for state in states:
+            flat.extend(state)
+        return {"width": width, "count": len(states), "packed": flat.tobytes()}
+
+    def __setstate__(self, data):
+        flat = array("q")
+        flat.frombytes(data["packed"])
+        width, count = data["width"], data["count"]
+        self._states = [
+            tuple(flat[i * width:(i + 1) * width]) for i in range(count)
+        ]
+        self._ids = {state: sid for sid, state in enumerate(self._states)}
+
+
+#: ``frame_hook(frame, repeats) -> keep``: called by ``step_batch`` once
+#: per distinct settled frame, with ``repeats`` the number of input
+#: choices sharing it; returning False prunes all of them.
+FrameHook = Callable[[Frame, int], bool]
+
+
 class Design:
     """Base class for simulatable designs. Subclasses implement the
-    two-phase protocol plus snapshot/restore."""
+    two-phase protocol plus snapshot/restore (directly, or via the
+    ``snapshot_state``/``restore_state`` + slot-layout backends)."""
+
+    #: Active snapshot representation: ``"dict"`` (nested tuples) or
+    #: ``"array"`` (interned flat vectors, see module docstring).
+    state_backend = "dict"
+    #: Slots moved through the flat buffer (array backend only).
+    slots_copied = 0
+    #: ``step_batch`` calls that shared one settled evaluation.
+    batch_expansions = 0
 
     def reset(self) -> None:
         raise NotImplementedError
@@ -64,11 +193,103 @@ class Design:
     def tick(self) -> None:
         raise NotImplementedError
 
+    # -- state protocol ------------------------------------------------
+
     def snapshot(self) -> Hashable:
-        raise NotImplementedError
+        if self.state_backend == "array":
+            buf = self._slot_buf
+            self.write_slots(buf)
+            self.slots_copied += len(buf)
+            return self._interner.intern(tuple(buf))
+        return self.snapshot_state()
 
     def restore(self, state: Hashable) -> None:
+        if self.state_backend == "array":
+            vec = self._interner.state(state)
+            self.read_slots(vec)
+            self.slots_copied += len(vec)
+        else:
+            self.restore_state(state)
+
+    def snapshot_state(self) -> Hashable:
+        """Dict-backend snapshot (nested hashable tuples)."""
         raise NotImplementedError
+
+    def restore_state(self, state: Hashable) -> None:
+        raise NotImplementedError
+
+    # -- array backend (opt-in per design) -----------------------------
+
+    def slot_layout(self) -> Optional[SlotLayout]:
+        """The design's flat-state declaration, or ``None`` when the
+        design only supports the dict backend."""
+        return None
+
+    def write_slots(self, buf: List[int]) -> None:
+        """Serialize the current state into ``buf`` (length
+        ``slot_layout().size``)."""
+        raise NotImplementedError
+
+    def read_slots(self, vec: Sequence[int]) -> None:
+        """Deserialize ``vec`` into the design's state."""
+        raise NotImplementedError
+
+    def enable_array_state(self) -> bool:
+        """Switch to interned flat-vector snapshots; returns False (and
+        stays on the dict backend) when the design declares no slot
+        layout.  Snapshots taken under one backend are meaningless to
+        the other, so switch only between explorations."""
+        layout = self.slot_layout()
+        if layout is None:
+            return False
+        self._slot_layout = layout
+        self._interner = StateInterner()
+        self._slot_buf = [0] * layout.size
+        self.slots_copied = 0
+        self.batch_expansions = 0
+        self.state_backend = "array"
+        return True
+
+    def disable_array_state(self) -> None:
+        """Fall back to the dict backend (``snapshot_state`` et al.)."""
+        self.state_backend = "dict"
+
+    @property
+    def states_interned(self) -> int:
+        """Distinct states the interner holds (0 on the dict backend)."""
+        if self.state_backend != "array":
+            return 0
+        return len(self._interner)
+
+    # -- batched expansion ---------------------------------------------
+
+    def step_batch(
+        self,
+        state: Hashable,
+        input_space: Sequence[Inputs],
+        frame_hook: FrameHook,
+    ) -> List[Optional[Tuple[Frame, Hashable]]]:
+        """Expand every free-input assignment of ``state`` in one call.
+
+        Returns a list parallel to ``input_space``: ``None`` where
+        ``frame_hook`` pruned the choice, else ``(frame, successor)``.
+        The generic implementation replays the classic per-input
+        restore/eval/tick loop exactly (same operation order, same
+        hook-observable effects); designs whose settled frame is
+        independent of a free input override this to evaluate once and
+        fan the cheap part — successor state construction — out over
+        the choices.
+        """
+        results: List[Optional[Tuple[Frame, Hashable]]] = []
+        for inputs in input_space:
+            self.restore(state)
+            frame = self.eval_comb(inputs)
+            if not frame_hook(frame, 1):
+                results.append(None)
+                continue
+            self.tick()
+            results.append((frame, self.snapshot()))
+        return results
 
     def input_space(self) -> List[Dict[str, int]]:
         """Every assignment of the free inputs (the verifier's branching

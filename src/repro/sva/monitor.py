@@ -225,6 +225,21 @@ class AssumptionChecker:
         self.antecedent_firings += fired
         return True
 
+    def frame_ok_repeated(self, frame: Frame, repeats: int) -> bool:
+        """Exactly ``repeats`` :meth:`frame_ok` calls on one frame —
+        one evaluation, counter increments scaled — for batched
+        expansion where every input choice shares the settled frame."""
+        fired = 0
+        for _name, antecedent, consequent in self.checks:
+            if antecedent.evaluate(frame):
+                fired += 1
+                if not _bool_property(consequent, frame):
+                    self.antecedent_firings += fired * repeats
+                    self.pruned_frames += repeats
+                    return False
+        self.antecedent_firings += fired * repeats
+        return True
+
     def violated_names(self, frame: Frame) -> List[str]:
         out = []
         for name, antecedent, consequent in self.checks:

@@ -192,6 +192,8 @@ class Explorer(InstrumentedExplorer):
     def _check_property(
         self, monitor: PropertyMonitor, budget: Budget
     ) -> ExplorationResult:
+        if self.design.state_backend == "array":
+            return self._check_property_batched(monitor, budget)
         root_rtl = self._reset_root()
         root = (root_rtl, monitor.initial())
         visited = {root}
@@ -262,9 +264,98 @@ class Explorer(InstrumentedExplorer):
         result.states_explored = len(visited)
         return result
 
+    def _check_property_batched(
+        self, monitor: PropertyMonitor, budget: Budget
+    ) -> ExplorationResult:
+        """Array-backend product walk: one :meth:`Design.step_batch`
+        call per frontier pair expands every free-input choice at once.
+
+        Verdicts, traces, transition counts, and budget behavior are
+        identical to the per-input loop above; only the assumption
+        checker's firing *counters* can run ahead on walks that return
+        mid-node (the batch prices the whole input space up front).
+        """
+        design = self.design
+        assumptions = self.assumptions
+        input_space = self.input_space
+        root_rtl = self._reset_root()
+        root = (root_rtl, monitor.initial())
+        visited = {root}
+        frontier: List[Tuple[Hashable, Tuple]] = [root]
+        parents: Dict[Tuple, Tuple] = {root: None}
+        result = ExplorationResult(verdict=UNKNOWN)
+        depth = 0
+
+        while frontier:
+            if depth >= budget.max_depth:
+                result.verdict = BOUNDED
+                result.depth_completed = depth
+                result.states_explored = len(visited)
+                return result
+            next_frontier: List[Tuple[Hashable, Tuple]] = []
+            first = 1 if depth == 0 else 0
+
+            def frame_hook(frame: Frame, repeats: int, _first=first) -> bool:
+                frame["first"] = _first
+                return assumptions.frame_ok_repeated(frame, repeats)
+
+            layer_start = result.transitions
+            for rtl_state, mon_state in frontier:
+                steps = design.step_batch(rtl_state, input_space, frame_hook)
+                for index, step in enumerate(steps):
+                    result.transitions += 1
+                    if step is None:
+                        continue
+                    frame, child_rtl = step
+                    new_mon = monitor.step(mon_state, frame)
+                    verdict = monitor.verdict(new_mon)
+                    if verdict is False:
+                        trace = self._rebuild_trace(
+                            parents, (rtl_state, mon_state)
+                        )
+                        trace.append((dict(input_space[index]), frame))
+                        result.verdict = FAILED
+                        result.depth_completed = depth + 1
+                        result.states_explored = len(visited)
+                        result.counterexample = trace
+                        result.layer_transitions.append(
+                            result.transitions - layer_start
+                        )
+                        return result
+                    if verdict is True:
+                        continue  # every extension satisfies the property
+                    child = (child_rtl, new_mon)
+                    if child not in visited:
+                        if len(visited) >= budget.max_states:
+                            result.verdict = BOUNDED
+                            result.depth_completed = depth
+                            result.states_explored = len(visited)
+                            result.layer_transitions.append(
+                                result.transitions - layer_start
+                            )
+                            return result
+                        visited.add(child)
+                        parents[child] = (
+                            (rtl_state, mon_state),
+                            dict(input_space[index]),
+                            frame,
+                        )
+                        next_frontier.append(child)
+            result.layer_transitions.append(result.transitions - layer_start)
+            frontier = next_frontier
+            depth += 1
+
+        result.verdict = PROVEN
+        result.exhausted = True
+        result.depth_completed = depth
+        result.states_explored = len(visited)
+        return result
+
     # ------------------------------------------------------------------
 
     def _cover_assumptions(self, budget: Budget) -> ExplorationResult:
+        if self.design.state_backend == "array":
+            return self._cover_assumptions_batched(budget)
         root = self._reset_root()
         visited = {root}
         frontier = [root]
@@ -294,6 +385,64 @@ class Explorer(InstrumentedExplorer):
                             result.fired_assumptions.add(name)
                     self.design.tick()
                     child = self.design.snapshot()
+                    if child not in visited:
+                        if len(visited) >= budget.max_states:
+                            result.verdict = UNKNOWN
+                            result.depth_completed = depth
+                            result.states_explored = len(visited)
+                            result.layer_transitions.append(
+                                result.transitions - layer_start
+                            )
+                            return result
+                        visited.add(child)
+                        next_frontier.append(child)
+            result.layer_transitions.append(result.transitions - layer_start)
+            frontier = next_frontier
+            depth += 1
+
+        result.verdict = REACHABLE
+        result.exhausted = True
+        result.depth_completed = depth
+        result.states_explored = len(visited)
+        return result
+
+    def _cover_assumptions_batched(self, budget: Budget) -> ExplorationResult:
+        """Array-backend covering walk (see
+        :meth:`_check_property_batched` for the equivalence contract)."""
+        design = self.design
+        assumptions = self.assumptions
+        input_space = self.input_space
+        root = self._reset_root()
+        visited = {root}
+        frontier = [root]
+        result = ExplorationResult(verdict=UNKNOWN)
+        depth = 0
+        checks = self.assumptions.checks
+
+        while frontier:
+            if depth >= budget.max_depth:
+                result.verdict = UNKNOWN
+                result.depth_completed = depth
+                result.states_explored = len(visited)
+                return result
+            next_frontier = []
+            first = 1 if depth == 0 else 0
+
+            def frame_hook(frame: Frame, repeats: int, _first=first) -> bool:
+                frame["first"] = _first
+                return assumptions.frame_ok_repeated(frame, repeats)
+
+            layer_start = result.transitions
+            for rtl_state in frontier:
+                steps = design.step_batch(rtl_state, input_space, frame_hook)
+                for step in steps:
+                    result.transitions += 1
+                    if step is None:
+                        continue
+                    frame, child = step
+                    for name, antecedent, _consequent in checks:
+                        if name not in result.fired_assumptions and antecedent.evaluate(frame):
+                            result.fired_assumptions.add(name)
                     if child not in visited:
                         if len(visited) >= budget.max_states:
                             result.verdict = UNKNOWN

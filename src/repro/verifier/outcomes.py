@@ -120,15 +120,20 @@ def _enumerate(design, max_states: int) -> ArchEnumeration:
         frontier = [root]
     input_space = design.input_space()
 
+    def _keep_all(frame, repeats):
+        return True
+
     while frontier and complete:
         next_frontier: List = []
         for state in frontier:
-            for inputs in input_space:
-                design.restore(state)
-                design.eval_comb(inputs)
-                design.tick()
+            # No assumptions, no monitors: every step survives, so the
+            # hook is a constant-true no-op and the batch degenerates to
+            # pure successor construction (one shared evaluation per
+            # state on batching designs).
+            steps = design.step_batch(state, input_space, _keep_all)
+            for step in steps:
                 transitions += 1
-                child = design.snapshot()
+                child = step[1]
                 if child in seen:
                     continue
                 if len(seen) >= max_states:

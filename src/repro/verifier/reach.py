@@ -152,19 +152,26 @@ class ReachGraph:
     def _expand(self, node: int) -> List[Edge]:
         start = time.perf_counter()
         snapshot, first = self._keys[node]
-        design = self.design
         assumptions = self.assumptions
-        edges: List[Edge] = []
-        for inputs in self.input_space:
-            design.restore(snapshot)
-            frame = design.eval_comb(inputs)
+
+        # ``sim_transitions`` stays in logical per-input units on every
+        # backend (the engine model prices walks in transitions, and
+        # serialized verdicts must not depend on the state backend);
+        # the *physical* evaluations saved by batching are visible via
+        # the design's ``batch_expansions``/``slots_copied`` counters.
+        def frame_hook(frame: Frame, repeats: int) -> bool:
             frame["first"] = first
-            self.sim_transitions += 1
-            if not assumptions.frame_ok(frame):
+            self.sim_transitions += repeats
+            return assumptions.frame_ok_repeated(frame, repeats)
+
+        steps = self.design.step_batch(snapshot, self.input_space, frame_hook)
+        edges: List[Edge] = []
+        for step in steps:
+            if step is None:
                 edges.append(None)
                 continue
-            design.tick()
-            child_key = (design.snapshot(), 0)
+            frame, child_state = step
+            child_key = (child_state, 0)
             child = self._ids.get(child_key)
             if child is None:
                 child = len(self._keys)

@@ -36,3 +36,18 @@ class Arbiter:
 
     def restore(self, state: Hashable) -> None:
         self.cur_core, self.prev_core = state
+
+    # -- flat slot protocol (array state backend) ----------------------
+
+    #: ``cur_core`` (slot 0 — the only state a grant choice touches,
+    #: which is what makes batched expansion a one-slot patch) and
+    #: ``prev_core`` (slot 1).
+    SLOT_COUNT = 2
+
+    def write_slots(self, buf, base: int) -> None:
+        buf[base] = self.cur_core
+        buf[base + 1] = self.prev_core
+
+    def read_slots(self, vec, base: int) -> None:
+        self.cur_core = vec[base]
+        self.prev_core = vec[base + 1]

@@ -225,3 +225,51 @@ class VScaleCore:
             self.wb_alu, self.wb_mem_addr, self.halted, regs,
         ) = state
         self.regs = list(regs)
+
+    # -- flat slot protocol (array state backend) ----------------------
+
+    #: 15 scalar pipeline/architectural registers + 32 GPRs.
+    SLOT_COUNT = 15 + 32
+
+    def write_slots(self, buf: List[int], base: int) -> None:
+        """Flatten the core into ``buf[base : base + SLOT_COUNT]``.
+
+        Booleans encode as 0/1 and the optional ``wb_writes_reg`` as
+        -1-for-None, keeping the encoding injective (None and r0 are
+        distinct pipeline states, exactly as in :meth:`snapshot`).
+        """
+        buf[base] = self.pc_if
+        buf[base + 1] = int(self.fetch_stop)
+        buf[base + 2] = int(self.dx_valid)
+        buf[base + 3] = self.dx_word
+        buf[base + 4] = self.dx_pc
+        buf[base + 5] = int(self.wb_valid)
+        buf[base + 6] = self.wb_pc
+        buf[base + 7] = self.wb_type
+        buf[base + 8] = self.wb_store_data
+        buf[base + 9] = self.wb_load_dest
+        buf[base + 10] = int(self.wb_is_halt)
+        buf[base + 11] = -1 if self.wb_writes_reg is None else self.wb_writes_reg
+        buf[base + 12] = self.wb_alu
+        buf[base + 13] = self.wb_mem_addr
+        buf[base + 14] = int(self.halted)
+        buf[base + 15:base + 47] = self.regs
+
+    def read_slots(self, vec, base: int) -> None:
+        self.pc_if = vec[base]
+        self.fetch_stop = bool(vec[base + 1])
+        self.dx_valid = bool(vec[base + 2])
+        self.dx_word = vec[base + 3]
+        self.dx_pc = vec[base + 4]
+        self.wb_valid = bool(vec[base + 5])
+        self.wb_pc = vec[base + 6]
+        self.wb_type = vec[base + 7]
+        self.wb_store_data = vec[base + 8]
+        self.wb_load_dest = vec[base + 9]
+        self.wb_is_halt = bool(vec[base + 10])
+        writes = vec[base + 11]
+        self.wb_writes_reg = None if writes < 0 else writes
+        self.wb_alu = vec[base + 12]
+        self.wb_mem_addr = vec[base + 13]
+        self.halted = bool(vec[base + 14])
+        self.regs = list(vec[base + 15:base + 47])

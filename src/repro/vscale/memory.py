@@ -24,8 +24,9 @@ read it.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro.errors import RtlError
 from repro.vscale.params import DMEM_LOAD, DMEM_STORE
 
 #: An in-flight transaction: (core, kind, word address).
@@ -41,6 +42,10 @@ class MemoryBase:
 
     def __init__(self, initial: Optional[Dict[int, int]] = None):
         self.initial = dict(initial or {})
+        #: The declared word addresses, in slot order.  Litmus-compiled
+        #: programs only ever store to declared words, so the flat
+        #: backend can lay the array out statically.
+        self.slot_words: Tuple[int, ...] = tuple(sorted(self.initial))
         self.reset()
 
     def reset(self) -> None:
@@ -71,6 +76,50 @@ class MemoryBase:
 
     def _array_snapshot(self) -> Tuple[Tuple[int, int], ...]:
         return tuple(sorted(self.array.items()))
+
+    # -- flat slot protocol (array state backend) ----------------------
+
+    #: Pending-transaction encoding: (valid, core, kind, word address).
+    PENDING_SLOTS = 4
+
+    def slot_count(self) -> int:
+        return self.PENDING_SLOTS + len(self.slot_words)
+
+    def write_slots(self, buf: List[int], base: int) -> None:
+        raise NotImplementedError
+
+    def read_slots(self, vec, base: int) -> None:
+        raise NotImplementedError
+
+    def _write_base_slots(self, buf: List[int], base: int) -> None:
+        pending = self.pending
+        if pending is None:
+            buf[base] = buf[base + 1] = buf[base + 2] = buf[base + 3] = 0
+        else:
+            buf[base] = 1
+            buf[base + 1], buf[base + 2], buf[base + 3] = pending
+        array = self.array
+        if len(array) != len(self.slot_words):
+            extras = sorted(set(array) - set(self.slot_words))
+            raise RtlError(
+                "memory grew words outside the declared data set "
+                f"{extras}; the flat state layout is static, so every "
+                "store target must appear in the initial data memory"
+            )
+        off = base + self.PENDING_SLOTS
+        for index, word in enumerate(self.slot_words):
+            buf[off + index] = array[word]
+
+    def _read_base_slots(self, vec, base: int) -> None:
+        if vec[base]:
+            self.pending = (vec[base + 1], vec[base + 2], vec[base + 3])
+        else:
+            self.pending = None
+        off = base + self.PENDING_SLOTS
+        self.array = {
+            word: vec[off + index]
+            for index, word in enumerate(self.slot_words)
+        }
 
 
 class BuggyMemory(MemoryBase):
@@ -114,6 +163,23 @@ class BuggyMemory(MemoryBase):
         array, self.pending, self.wvalid, self.waddr, self.wdata = state
         self.array = dict(array)
 
+    def slot_count(self) -> int:
+        return super().slot_count() + 3
+
+    def write_slots(self, buf: List[int], base: int) -> None:
+        self._write_base_slots(buf, base)
+        off = base + self.PENDING_SLOTS + len(self.slot_words)
+        buf[off] = self.wvalid
+        buf[off + 1] = self.waddr
+        buf[off + 2] = self.wdata
+
+    def read_slots(self, vec, base: int) -> None:
+        self._read_base_slots(vec, base)
+        off = base + self.PENDING_SLOTS + len(self.slot_words)
+        self.wvalid = vec[off]
+        self.waddr = vec[off + 1]
+        self.wdata = vec[off + 2]
+
 
 class FixedMemory(MemoryBase):
     """The corrected memory: stores commit directly to the array."""
@@ -134,3 +200,9 @@ class FixedMemory(MemoryBase):
     def restore(self, state: Hashable) -> None:
         array, self.pending = state
         self.array = dict(array)
+
+    def write_slots(self, buf: List[int], base: int) -> None:
+        self._write_base_slots(buf, base)
+
+    def read_slots(self, vec, base: int) -> None:
+        self._read_base_slots(vec, base)

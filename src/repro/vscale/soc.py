@@ -9,12 +9,12 @@ for this input" (§5.2).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence
 
 from repro.errors import RtlError
 from repro.isa import encode
 from repro.litmus.test import CompiledTest
-from repro.rtl.design import Design, Frame, FreeInput
+from repro.rtl.design import Design, Frame, FreeInput, SlotLayout
 from repro.vscale.arbiter import Arbiter
 from repro.vscale.core import VScaleCore
 from repro.vscale.memory import BuggyMemory, FixedMemory, MemoryBase
@@ -32,9 +32,20 @@ class MultiVScale(Design):
     ``memory_variant`` selects ``"buggy"`` (the shipped V-scale memory
     with the store-dropping bug of §7.1) or ``"fixed"`` (the paper's
     corrected memory).
+
+    ``state_backend`` selects the snapshot representation: ``"array"``
+    (the default — interned flat slot vectors with the batched
+    expansion kernel, see ``docs/performance.md``) or ``"dict"`` (the
+    original nested-tuple snapshots, kept for equivalence
+    cross-checking).
     """
 
-    def __init__(self, compiled: CompiledTest, memory_variant: str = "fixed"):
+    def __init__(
+        self,
+        compiled: CompiledTest,
+        memory_variant: str = "fixed",
+        state_backend: str = "array",
+    ):
         if compiled.num_cores != NUM_CORES:
             raise RtlError(f"expected {NUM_CORES}-core compile, got {compiled.num_cores}")
         self.compiled = compiled
@@ -55,6 +66,10 @@ class MultiVScale(Design):
         self.data_words = sorted(compiled.initial_data_memory)
         self._pending_tick = None
         self.reset()
+        if state_backend == "array":
+            self.enable_array_state()
+        elif state_backend != "dict":
+            raise RtlError(f"unknown state backend {state_backend!r}")
 
     # ------------------------------------------------------------------
 
@@ -149,21 +164,80 @@ class MultiVScale(Design):
             core.tick(views[core_id], stall_dx[core_id], load_data)
 
     # ------------------------------------------------------------------
+    # State protocol: dict backend (nested tuples) ...
+    # ------------------------------------------------------------------
 
-    def snapshot(self) -> Hashable:
+    def snapshot_state(self) -> Hashable:
         return (
             tuple(core.snapshot() for core in self.cores),
             self.arbiter.snapshot(),
             self.memory.snapshot(),
         )
 
-    def restore(self, state: Hashable) -> None:
+    def restore_state(self, state: Hashable) -> None:
         core_states, arb_state, mem_state = state
         for core, core_state in zip(self.cores, core_states):
             core.restore(core_state)
         self.arbiter.restore(arb_state)
         self.memory.restore(mem_state)
         self._pending_tick = None
+
+    # ------------------------------------------------------------------
+    # ... and the flat slot layout (array backend)
+    # ------------------------------------------------------------------
+
+    def slot_layout(self) -> Optional[SlotLayout]:
+        layout = SlotLayout()
+        self._core_bases = [
+            layout.block(f"core[{core.core_id}]", core.SLOT_COUNT)
+            for core in self.cores
+        ]
+        self._arb_base = layout.block("arbiter", self.arbiter.SLOT_COUNT)
+        self._mem_base = layout.block("memory", self.memory.slot_count())
+        return layout
+
+    def write_slots(self, buf: List[int]) -> None:
+        for core, base in zip(self.cores, self._core_bases):
+            core.write_slots(buf, base)
+        self.arbiter.write_slots(buf, self._arb_base)
+        self.memory.write_slots(buf, self._mem_base)
+
+    def read_slots(self, vec) -> None:
+        for core, base in zip(self.cores, self._core_bases):
+            core.read_slots(vec, base)
+        self.arbiter.read_slots(vec, self._arb_base)
+        self.memory.read_slots(vec, self._mem_base)
+        self._pending_tick = None
+
+    def step_batch(self, state, input_space, frame_hook):
+        """Batched expansion sharing one settled evaluation.
+
+        ``arb_select`` feeds only the arbiter's clock edge — the settled
+        frame and the core/memory next-state are identical for every
+        grant choice — so one restore + ``eval_comb`` + ``tick`` covers
+        the whole input space, and each choice's successor differs from
+        its neighbours in exactly one slot (``arbiter.cur_core``).
+        """
+        if self.state_backend != "array":
+            return super().step_batch(state, input_space, frame_hook)
+        n = len(input_space)
+        self.restore(state)
+        frame = self.eval_comb(input_space[0])
+        self.batch_expansions += 1
+        if not frame_hook(frame, n):
+            return [None] * n
+        self.tick()
+        buf = self._slot_buf
+        self.write_slots(buf)
+        self.slots_copied += len(buf)
+        cur_slot = self._arb_base  # the only select-dependent slot
+        interner = self._interner
+        num_cores = self.arbiter.num_cores
+        edges = []
+        for inputs in input_space:
+            buf[cur_slot] = inputs.get("arb_select", 0) % num_cores
+            edges.append((frame, interner.intern(tuple(buf))))
+        return edges
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,317 @@
+"""Dict vs. array state-backend equivalence.
+
+The array backend (flat interned slot vectors + batched frontier
+expansion, ``repro.rtl.design``) is a pure representation change: it
+must produce bit-identical reachability graphs, verdicts, modeled
+hours, counterexample traces, and VCD waveforms to the classic
+dict/deepcopy backend.  These tests prove that contract over the
+golden-verdict fixture tests on both memory variants, and pin the
+representation-level wins the backend exists for (hash-consing,
+compact pickles, snapshot/restore round-trips).
+
+Normalization: wall-clock fields (``*seconds``) and the array-only
+``state.*`` observability counters are stripped before comparison —
+they are the *only* permitted divergence between backends.
+
+Set ``RTLCHECK_STATE_BACKEND_FULL=1`` to sweep the full 56-test suite
+on both memory variants (minutes); the default subset keeps CI fast.
+"""
+
+import json
+import os
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RTLCheck, get_test, paper_suite
+from repro.errors import ReproError
+from repro.litmus import compile_test
+from repro.mapping import MultiVScaleProgramMapping
+from repro.rtl.design import StateInterner
+from repro.rtl.vcd import render_vcd
+from repro.sva import AssumptionChecker
+from repro.verifier.outcomes import enumerate_design_outcomes
+from repro.verifier.reach import ReachGraph
+from repro.vscale.soc import MultiVScale
+
+#: Representative subset: message-passing and store-buffering (the
+#: canonical forbidden/permitted pair), a load-buffer shape, a 4-core
+#: write-atomicity test, and an n-test with fences.
+SUBSET = ["mp", "sb", "lb", "iwp24", "n4"]
+VARIANTS = ["fixed", "buggy"]
+
+FULL_SWEEP = os.environ.get("RTLCHECK_STATE_BACKEND_FULL") == "1"
+SWEEP = [t.name for t in paper_suite()] if FULL_SWEEP else SUBSET
+
+
+def _scrub(obj):
+    """Drop wall-clock fields and array-only counters, recursively."""
+    if isinstance(obj, dict):
+        return {
+            key: _scrub(value)
+            for key, value in obj.items()
+            if not (isinstance(key, str) and key.endswith("seconds"))
+            and not (isinstance(key, str) and key.startswith("state."))
+        }
+    if isinstance(obj, list):
+        return [_scrub(item) for item in obj]
+    return obj
+
+
+def _canonical(verification) -> str:
+    return json.dumps(_scrub(verification.to_dict()), sort_keys=True)
+
+
+def _build_full_graph(name, variant, backend):
+    """Fully expand a ReachGraph under ``backend``; return (graph, design)."""
+    compiled = compile_test(get_test(name))
+    design = MultiVScale(compiled, variant, state_backend=backend)
+    assumptions = MultiVScaleProgramMapping(compiled).all_assumptions()
+    graph = ReachGraph(design, AssumptionChecker(assumptions))
+    frontier = [graph.root]
+    seen = {graph.root}
+    while frontier:
+        node = frontier.pop()
+        for _index, _inputs, _frame, child in graph.live_successors(node):
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return graph, design
+
+
+def _edge_shape(graph):
+    """Backend-independent structural view: per-node edge lists with
+    frames as plain dicts and children as node ids (snapshots are
+    interned ids on one backend and nested tuples on the other, so
+    they are deliberately not part of the shape)."""
+    return [
+        [
+            None if edge is None else (dict(edge[0]), edge[1])
+            for edge in graph.successors(node)
+        ]
+        for node in range(graph.num_nodes)
+    ]
+
+
+class TestVerdictEquivalence:
+    """Full-pipeline agreement: graphs, verdicts, modeled hours."""
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("name", SWEEP)
+    def test_serialized_verdicts_identical(self, name, variant):
+        array_rc = RTLCheck(state_backend="array", observe=True)
+        dict_rc = RTLCheck(state_backend="dict", observe=True)
+        array = array_rc.verify_test(get_test(name), memory_variant=variant)
+        seed = dict_rc.verify_test(get_test(name), memory_variant=variant)
+        assert _canonical(array) == _canonical(seed), f"{name}/{variant}"
+        assert array.modeled_hours == seed.modeled_hours
+        assert array.graph_states == seed.graph_states
+        assert array.graph_transitions == seed.graph_transitions
+
+    def test_per_property_explorer_agrees(self):
+        """The non-graph (per-property) explorer path batches too."""
+        for name in ["mp", "sb"]:
+            array_rc = RTLCheck(state_backend="array", use_reach_graph=False)
+            dict_rc = RTLCheck(state_backend="dict", use_reach_graph=False)
+            array = array_rc.verify_test(get_test(name))
+            seed = dict_rc.verify_test(get_test(name))
+            assert _canonical(array) == _canonical(seed), name
+
+    def test_counterexample_vcd_identical(self):
+        """Buggy-memory counterexamples render to byte-identical VCD."""
+        traces = {}
+        for backend in ("array", "dict"):
+            rc = RTLCheck(state_backend=backend)
+            result = rc.verify_test(get_test("mp"), memory_variant="buggy")
+            failed = [
+                p
+                for p in result.properties
+                if p.ground_truth.counterexample is not None
+            ]
+            assert failed, "buggy mp must produce a counterexample"
+            traces[backend] = [
+                [frame for _inputs, frame in p.ground_truth.counterexample]
+                for p in failed
+            ]
+        assert len(traces["array"]) == len(traces["dict"])
+        for array_trace, dict_trace in zip(traces["array"], traces["dict"]):
+            assert render_vcd(array_trace) == render_vcd(dict_trace)
+
+    def test_outcome_enumeration_agrees(self):
+        """The architectural enumeration behind difftest's RTL oracle
+        finds the same outcomes, states, and transition counts."""
+        for variant in VARIANTS:
+            compiled = compile_test(get_test("sb"))
+            array = enumerate_design_outcomes(
+                MultiVScale(compiled, variant, state_backend="array")
+            )
+            seed = enumerate_design_outcomes(
+                MultiVScale(compiled, variant, state_backend="dict")
+            )
+            assert array.outcomes == seed.outcomes, variant
+            assert array.complete == seed.complete
+            assert array.states == seed.states
+            assert array.transitions == seed.transitions
+            assert array.drained_states == seed.drained_states
+
+
+class TestGraphStructure:
+    """Node-for-node, edge-for-edge agreement of the built graphs."""
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_graphs_isomorphic_by_construction_order(self, variant):
+        array_graph, _ = _build_full_graph("mp", variant, "array")
+        dict_graph, _ = _build_full_graph("mp", variant, "dict")
+        assert array_graph.num_nodes == dict_graph.num_nodes
+        assert array_graph.expanded_nodes == dict_graph.expanded_nodes
+        assert array_graph.sim_transitions == dict_graph.sim_transitions
+        assert _edge_shape(array_graph) == _edge_shape(dict_graph)
+
+    def test_interning_bounds_resident_states(self):
+        """Regression for the memory win: a full mp-suite build interns
+        at most one flat tuple per discovered node (hash-consing), and
+        never fewer than one per *distinct* design state."""
+        for variant in VARIANTS:
+            graph, design = _build_full_graph("mp", variant, "array")
+            assert graph.expanded_nodes == graph.num_nodes
+            assert 0 < design.states_interned <= graph.expanded_nodes
+
+    def test_equal_snapshots_share_one_id(self):
+        compiled = compile_test(get_test("mp"))
+        design = MultiVScale(compiled, "fixed", state_backend="array")
+        design.reset()
+        first = design.snapshot()
+        design.eval_comb({"arb_select": 0})
+        design.tick()
+        design.reset()
+        second = design.snapshot()
+        assert isinstance(first, int)
+        assert first == second
+        assert design.states_interned >= 1
+
+    def test_array_graph_pickle_round_trips(self):
+        """Pickled array-backend graphs rehydrate with identical
+        structure and keep expanding; the interned form is more compact
+        than the dict backend's nested-tuple snapshots."""
+        array_graph, _ = _build_full_graph("mp", "fixed", "array")
+        dict_graph, _ = _build_full_graph("mp", "fixed", "dict")
+        blob = pickle.dumps(array_graph)
+        assert len(blob) < len(pickle.dumps(dict_graph))
+        revived = pickle.loads(blob)
+        assert revived.num_nodes == array_graph.num_nodes
+        assert _edge_shape(revived) == _edge_shape(array_graph)
+        # The revived design's interner still resolves every node.
+        for node in range(revived.num_nodes):
+            assert revived.design._interner.state(revived.snap(node))
+
+
+class TestSnapshotRestore:
+    """Round-trip and injectivity of the flat encoding."""
+
+    def _stepped(self, backend, schedule, name="mp"):
+        compiled = compile_test(get_test(name))
+        design = MultiVScale(compiled, "fixed", state_backend=backend)
+        design.reset()
+        for select in schedule:
+            design.eval_comb({"arb_select": select})
+            design.tick()
+        return design
+
+    def test_round_trip_preserves_behavior(self):
+        """restore(snapshot()) resumes an identical execution."""
+        schedule = [0, 1, 1, 0, 1, 0, 0, 1]
+        design = self._stepped("array", schedule)
+        saved = design.snapshot()
+        reference = self._stepped("array", schedule)
+        for select in [1, 0, 1, 1]:
+            design.eval_comb({"arb_select": select})
+            design.tick()
+        design.restore(saved)
+        for select in [0, 1, 0, 1, 1, 0]:
+            resumed = dict(design.eval_comb({"arb_select": select}))
+            expected = dict(reference.eval_comb({"arb_select": select}))
+            design.tick()
+            reference.tick()
+            assert resumed == expected
+
+    @given(
+        prefix_a=st.lists(st.integers(0, 3), max_size=6),
+        prefix_b=st.lists(st.integers(0, 3), max_size=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flat_encoding_is_injective(self, prefix_a, prefix_b):
+        """Two executions reach the same interned id exactly when the
+        dict backend considers their states equal — the flat encoding
+        loses nothing (bools, None sentinels, memory words)."""
+        compiled = compile_test(get_test("sb"))
+        array = MultiVScale(compiled, "fixed", state_backend="array")
+        dict_ids = []
+        array_ids = []
+        for schedule in (prefix_a, prefix_b):
+            array.reset()
+            probe = self._stepped("dict", schedule, name="sb")
+            for select in schedule:
+                array.eval_comb({"arb_select": select})
+                array.tick()
+            array_ids.append(array.snapshot())
+            dict_ids.append(probe.snapshot())
+        assert (array_ids[0] == array_ids[1]) == (dict_ids[0] == dict_ids[1])
+
+    @given(
+        states=st.lists(
+            st.tuples(*([st.integers(-(2**40), 2**40)] * 3)),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interner_is_stable_and_pickles(self, states):
+        """intern() is idempotent, state() inverts it, and the compact
+        pickle preserves every id assignment."""
+        interner = StateInterner()
+        ids = [interner.intern(state) for state in states]
+        assert [interner.intern(state) for state in states] == ids
+        assert [interner.state(sid) for sid in ids] == list(states)
+        assert len(interner) == len(set(states))
+        revived = pickle.loads(pickle.dumps(interner))
+        assert len(revived) == len(interner)
+        assert [revived.intern(state) for state in states] == ids
+        assert [revived.state(sid) for sid in ids] == list(states)
+
+
+class TestBackendSelection:
+    """Plumbing: the backend is chosen at the RTLCheck/CLI layer."""
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError):
+            RTLCheck(state_backend="linked-list")
+
+    def test_cli_flag(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(["verify", "mp"])
+        assert args.state_backend == "array"
+        args = build_parser().parse_args(
+            ["suite", "--state-backend", "dict"]
+        )
+        assert args.state_backend == "dict"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "mp", "--state-backend", "x"])
+
+    def test_cache_keys_distinguish_backends(self):
+        from repro.cache.keys import reach_key
+        from repro.mapping import MultiVScaleProgramMapping as Mapping
+
+        test = get_test("mp")
+        keys = {
+            reach_key(
+                test=test,
+                memory_variant="fixed",
+                design_factory=MultiVScale,
+                program_mapping_factory=Mapping,
+                state_backend=backend,
+            )
+            for backend in ("array", "dict")
+        }
+        assert len(keys) == 2

@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""CI benchmark-regression gate.
+
+Runs a pinned, fast benchmark subset — cold reachability-graph builds,
+random-schedule simulation, and difftest oracle throughput — and writes
+the measurements to a JSON trajectory point (``BENCH_ci.json``).  With
+``--baseline``/``--check`` it compares against the committed baseline
+(``benchmarks/baselines/ci_baseline.json``) and exits non-zero when any
+metric slowed down by more than the threshold (default 25%).
+
+Raw wall-clock seconds are useless across heterogeneous CI machines,
+so every metric is reported in **calibrated units**: the metric's
+best-of-N seconds divided by the best-of-N seconds of a fixed
+pure-Python calibration workload run in the same process.  A machine
+that is uniformly 2x slower scores the same units; only *relative*
+regressions (an algorithmic or representation change in this repo)
+move the ratio.
+
+Usage:
+
+    PYTHONPATH=src python tools/bench_gate.py --output BENCH_ci.json \
+        --baseline benchmarks/baselines/ci_baseline.json --check
+
+Refresh the baseline after an intentional performance change with
+``tools/regen_bench_baseline.py`` (and commit the diff).
+
+``--inject-slowdown METRIC`` artificially slows one metric (a sleep
+sized at ~60% of its measured time) — used once per pipeline change to
+demonstrate that the gate actually fails, never in a committed config.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+SCHEMA_VERSION = 1
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_REPEATS = 3
+
+#: Pinned workloads: small enough for a CI minute, large enough
+#: (hundreds of milliseconds each) that timer noise is negligible.
+REACHGRAPH_TESTS = ("mp", "sb", "iwp24", "iriw", "n4", "amd3")
+REACHGRAPH_VARIANTS = ("fixed", "buggy")
+SIMULATION_TESTS = ("mp", "iwp24")
+SIMULATION_SCHEDULES = 600
+DIFFTEST_TESTS = ("mp", "sb", "iwp24", "iriw", "amd3")
+
+
+def _calibration_workload() -> int:
+    """Fixed pure-Python workload (dict/tuple churn plus arithmetic,
+    the same operation mix the benchmarks stress)."""
+    total = 0
+    table: Dict[int, int] = {}
+    for i in range(400_000):
+        total += (i * i) % 7919
+        table[i & 1023] = total
+        if i & 1023 == 0:
+            total += sum(table.values()) % 104729
+    return total
+
+
+def _bench_reachgraph() -> None:
+    """Cold full ReachGraph builds on the array backend."""
+    from repro import get_test
+    from repro.litmus import compile_test
+    from repro.mapping import MultiVScaleProgramMapping
+    from repro.sva import AssumptionChecker
+    from repro.verifier.reach import ReachGraph
+    from repro.vscale.soc import MultiVScale
+
+    for name in REACHGRAPH_TESTS:
+        compiled = compile_test(get_test(name))
+        assumptions = MultiVScaleProgramMapping(compiled).all_assumptions()
+        for variant in REACHGRAPH_VARIANTS:
+            graph = ReachGraph(
+                MultiVScale(compiled, variant), AssumptionChecker(assumptions)
+            )
+            frontier = [graph.root]
+            seen = {graph.root}
+            while frontier:
+                node = frontier.pop()
+                for _i, _inputs, _frame, child in graph.live_successors(node):
+                    if child not in seen:
+                        seen.add(child)
+                        frontier.append(child)
+
+
+def _bench_simulation() -> None:
+    """Random-schedule simulation campaign on the fixed design."""
+    from repro import get_test
+    from repro.litmus import compile_test
+    from repro.mapping import MultiVScaleProgramMapping
+    from repro.verifier.simulation import simulate_check
+    from repro.vscale.soc import MultiVScale
+
+    for name in SIMULATION_TESTS:
+        compiled = compile_test(get_test(name))
+        mapping = MultiVScaleProgramMapping(compiled)
+        simulate_check(
+            MultiVScale(compiled, "fixed"),
+            mapping.all_assumptions(),
+            [],
+            num_schedules=SIMULATION_SCHEDULES,
+            max_cycles=60,
+        )
+
+
+def _bench_difftest() -> None:
+    """Uncached difftest oracle sweep (operational + axiomatic + RTL)."""
+    from repro import get_test
+    from repro.difftest.oracles import evaluate_oracles
+
+    for name in DIFFTEST_TESTS:
+        evaluate_oracles(
+            get_test(name), oracles=("operational", "axiomatic", "rtl")
+        )
+
+
+METRICS: Dict[str, Callable[[], None]] = {
+    "reachgraph_build": _bench_reachgraph,
+    "simulation": _bench_simulation,
+    "difftest": _bench_difftest,
+}
+
+
+def _best_of(fn: Callable[[], None], repeats: int, extra: float = 0.0) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if extra:
+            time.sleep(extra)
+            elapsed += extra
+        best = min(best, elapsed)
+    return best
+
+
+def run_gate(repeats: int, inject_slowdown: Optional[str] = None) -> Dict:
+    calibration = _best_of(_calibration_workload, repeats)
+    metrics = {}
+    for name, fn in METRICS.items():
+        warm_seconds = _best_of(fn, 1)  # one warm-up: imports, caches
+        extra = 0.6 * warm_seconds if name == inject_slowdown else 0.0
+        seconds = _best_of(fn, repeats, extra=extra)
+        metrics[name] = {
+            "seconds": round(seconds, 4),
+            "units": round(seconds / calibration, 4),
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "calibration_seconds": round(calibration, 4),
+        "repeats": repeats,
+        "metrics": metrics,
+    }
+
+
+def check_against_baseline(
+    current: Dict, baseline: Dict, threshold: float
+) -> int:
+    """Print a comparison table; return the number of regressions."""
+    regressions = 0
+    print(f"{'metric':18s} {'baseline':>9s} {'current':>9s} {'ratio':>7s}")
+    for name, entry in current["metrics"].items():
+        base = baseline.get("metrics", {}).get(name)
+        if base is None:
+            print(f"{name:18s} {'—':>9s} {entry['units']:>9.3f}   (new metric)")
+            continue
+        ratio = entry["units"] / base["units"]
+        flag = ""
+        if ratio > 1.0 + threshold:
+            flag = f"  REGRESSION (> {1.0 + threshold:.2f}x)"
+            regressions += 1
+        print(
+            f"{name:18s} {base['units']:>9.3f} {entry['units']:>9.3f} "
+            f"{ratio:>6.2f}x{flag}"
+        )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_ci.json", help="trajectory point to write"
+    )
+    parser.add_argument(
+        "--baseline", default=None, help="committed baseline JSON to compare"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when a metric regresses past the threshold",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional slowdown (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS, help="best-of-N runs"
+    )
+    parser.add_argument(
+        "--inject-slowdown",
+        choices=sorted(METRICS),
+        default=None,
+        help="artificially slow one metric (gate self-test only)",
+    )
+    args = parser.parse_args(argv)
+
+    current = run_gate(args.repeats, inject_slowdown=args.inject_slowdown)
+    with open(args.output, "w") as handle:
+        json.dump(current, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    for name, entry in current["metrics"].items():
+        print(f"  {name:18s} {entry['seconds']:>8.3f}s  {entry['units']:.3f} units")
+
+    if args.baseline is None:
+        return 0
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    regressions = check_against_baseline(current, baseline, args.threshold)
+    if regressions and args.check:
+        print(f"bench gate: {regressions} metric(s) regressed", file=sys.stderr)
+        return 1
+    print("bench gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

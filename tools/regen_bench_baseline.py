@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Refresh the committed bench-gate baseline.
+
+Re-runs the pinned :mod:`tools.bench_gate` metric set and rewrites
+``benchmarks/baselines/ci_baseline.json``.  Run this (and commit the
+diff, with a sentence in the PR about *why* the trajectory moved) only
+when a performance change is intentional:
+
+    PYTHONPATH=src python tools/regen_bench_baseline.py
+
+The baseline stores calibrated units (metric seconds / calibration
+seconds), so it does not need to be regenerated on a particular
+machine class — see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_gate import DEFAULT_REPEATS, run_gate  # noqa: E402
+
+BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..",
+    "benchmarks",
+    "baselines",
+    "ci_baseline.json",
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--output", default=BASELINE)
+    args = parser.parse_args(argv)
+
+    baseline = run_gate(args.repeats)
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    for name, entry in baseline["metrics"].items():
+        print(f"  {name:18s} {entry['seconds']:>8.3f}s  {entry['units']:.3f} units")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
