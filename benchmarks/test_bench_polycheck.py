@@ -1,0 +1,100 @@
+"""Benchmark: long-program fuzzing throughput via the trace oracle.
+
+The point of the sampled trace oracle is scale: per test it costs
+``O(samples · cycles)`` regardless of program length, where exhaustive
+RTL enumeration is exponential in it.  This benchmark runs a
+long-program fuzz campaign (16 instructions per thread, trace oracle
+only) and compares its per-test throughput against the exhaustive RTL
+oracle's per-test throughput on the classic litmus shapes — the
+*easiest* programs enumeration ever sees, so the comparison is stacked
+against the trace oracle and the bar below is conservative.
+
+Acceptance: the long-program campaign sustains at least 10x the
+per-test throughput of the exhaustive RTL oracle.
+"""
+
+import random
+import time
+
+from conftest import save_table
+
+from repro import get_test
+from repro.difftest.oracles import rtl_verdicts, trace_verdicts
+from repro.litmus.test import LitmusTest, Outcome, load, store
+
+MIN_SPEEDUP = 10.0
+LONG_TESTS = 6
+LONG_THREAD_OPS = 16
+TRACE_SAMPLES = 8
+RTL_TESTS = ("mp", "sb", "iwp24", "iriw", "amd3")
+
+
+def _long_suite():
+    """Deterministic 16-ops-per-thread programs with unique store
+    values per location (the generator's long-program shape)."""
+    tests = []
+    for index in range(LONG_TESTS):
+        rng = random.Random(f"bench-polycheck:{index}")
+        variables = ["x", "y", "z"]
+        next_value = {var: 0 for var in variables}
+        threads, reg = [], 0
+        for _ in range(2):
+            ops = []
+            for _ in range(LONG_THREAD_OPS):
+                var = rng.choice(variables)
+                if rng.random() < 0.5:
+                    next_value[var] += 1
+                    ops.append(store(var, next_value[var]))
+                else:
+                    reg += 1
+                    ops.append(load(var, f"r{reg}"))
+            threads.append(ops)
+        tests.append(
+            LitmusTest.of(f"bench-long-{index}", threads, Outcome.of({}))
+        )
+    return tests
+
+
+def test_long_program_trace_throughput(results_dir):
+    long_tests = _long_suite()
+
+    start = time.perf_counter()
+    nonconformant = undrained = 0
+    for test in long_tests:
+        checks, _sampled, und = trace_verdicts(
+            test, "fixed", samples=TRACE_SAMPLES
+        )
+        nonconformant += sum(1 for c in checks if not c.conformant)
+        undrained += und
+    trace_seconds = time.perf_counter() - start
+    trace_per_test = trace_seconds / len(long_tests)
+
+    start = time.perf_counter()
+    for name in RTL_TESTS:
+        enum = rtl_verdicts(get_test(name), "fixed")
+        assert enum.complete
+    rtl_seconds = time.perf_counter() - start
+    rtl_per_test = rtl_seconds / len(RTL_TESTS)
+
+    speedup = rtl_per_test / trace_per_test
+
+    lines = [
+        f"Trace-oracle long-program throughput "
+        f"({LONG_THREAD_OPS} instr/thread, {TRACE_SAMPLES} samples/test)",
+        "",
+        f"{'long tests':28s} {len(long_tests):>8d}",
+        f"{'trace oracle per test':28s} {trace_per_test:>8.3f}s",
+        f"{'rtl enumeration per test':28s} {rtl_per_test:>8.3f}s  "
+        f"(classic shapes — enumeration cannot run the long tests at all)",
+        f"{'per-test speedup':28s} {speedup:>8.1f}x  (bar: {MIN_SPEEDUP:.0f}x)",
+        "",
+        f"fixed-memory conformance: {nonconformant} nonconformant, "
+        f"{undrained} undrained",
+    ]
+    save_table(results_dir, "polycheck.txt", "\n".join(lines) + "\n")
+
+    assert undrained == 0
+    assert nonconformant == 0, "fixed memory must be SC-clean"
+    assert speedup >= MIN_SPEEDUP, (
+        f"trace oracle speedup {speedup:.1f}x below {MIN_SPEEDUP:.0f}x"
+    )

@@ -16,12 +16,14 @@ Commands
 ``suite [--memory ...] [--config ...] [--jobs N] [--only TEST ...]``
     Verify the 56-test suite (or a subset) with per-test progress
     lines; ``--jobs N`` verifies tests in parallel worker processes.
-``fuzz [--seed N] [--budget N] [--oracles ...] [--jobs N]``
+``fuzz [--seed N] [--budget N] [--oracles ...] [--jobs N] [--long-programs]``
     Differential litmus fuzzing: generate seeded random tests and
-    cross-check the operational, axiomatic, RTL-simulation, and
-    verifier layers against each other; discrepancies are shrunk to
-    minimal reproducers (``--reproducers DIR`` writes them as replayable
-    JSON artifacts).  Exits non-zero iff a discrepancy was found.  See
+    cross-check the operational, axiomatic, RTL-simulation, verifier,
+    and sampled-trace layers against each other; discrepancies are
+    shrunk to minimal reproducers (``--reproducers DIR`` writes them as
+    replayable JSON artifacts).  ``--long-programs`` mixes in 8-16
+    instruction-per-thread tests that only the trace oracle can judge.
+    Exits non-zero iff a discrepancy was found.  See
     ``docs/difftest.md``.
 ``cache {stats,gc,clear}``
     Inspect and maintain the persistent verification cache: per-tier
@@ -221,6 +223,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["buggy", "fixed"],
         default="fixed",
         help="Multi-V-scale memory variant under test (default: fixed)",
+    )
+    fuzz.add_argument(
+        "--long-programs",
+        action="store_true",
+        help="mix in long-program tests (8-16 instructions per thread); "
+        "requires the trace oracle, which is the only layer that can "
+        "evaluate them",
+    )
+    fuzz.add_argument(
+        "--trace-samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="RTL executions sampled per test by the trace oracle "
+        "(default: 8)",
     )
     fuzz.add_argument(
         "--jobs",
@@ -478,6 +495,7 @@ def cmd_fuzz(args) -> int:
         validate_fuzz_report,
         write_reproducer,
     )
+    from repro.difftest.oracles import DEFAULT_TRACE_SAMPLES
     from repro.verifier.outcomes import DEFAULT_MAX_STATES
 
     from repro.cache import default_cache_dir
@@ -490,6 +508,8 @@ def cmd_fuzz(args) -> int:
         memory_variant=args.memory,
         jobs=args.jobs,
         max_states=args.max_states or DEFAULT_MAX_STATES,
+        long_programs=args.long_programs,
+        trace_samples=args.trace_samples or DEFAULT_TRACE_SAMPLES,
         shrink=not args.no_shrink,
         shrink_limit=args.shrink_limit,
         observe=observe,

@@ -253,24 +253,28 @@ def oracle_key(
     test,
     memory_variant: Optional[str] = None,
     max_states: Optional[int] = None,
+    extra: Optional[dict] = None,
 ) -> str:
     """Key of one difftest oracle outcome set.
 
-    ``memory_variant`` and ``max_states`` only apply to the RTL
-    enumeration layer; the operational and axiomatic layers are
-    design-independent and pass ``None`` so a fixed/buggy sweep shares
-    their entries."""
-    return digest_payload(
-        {
-            "tier": "oracle",
-            "format": CACHE_FORMAT_VERSION,
-            "toolchain": difftest_fingerprint(),
-            "oracle": oracle,
-            "test": test.to_dict(),
-            "memory_variant": memory_variant,
-            "max_states": max_states,
-        }
-    )
+    ``memory_variant`` and ``max_states`` only apply to the design-
+    dependent layers (RTL enumeration, trace sampling); the operational
+    and axiomatic layers are design-independent and pass ``None`` so a
+    fixed/buggy sweep shares their entries.  ``extra`` folds additional
+    oracle-specific parameters into the key (the trace oracle's sample
+    count and harvest seed)."""
+    payload = {
+        "tier": "oracle",
+        "format": CACHE_FORMAT_VERSION,
+        "toolchain": difftest_fingerprint(),
+        "oracle": oracle,
+        "test": test.to_dict(),
+        "memory_variant": memory_variant,
+        "max_states": max_states,
+    }
+    if extra:
+        payload["extra"] = extra
+    return digest_payload(payload)
 
 
 def campaign_key(kind: str, payload) -> str:

@@ -1,6 +1,6 @@
 """`repro.difftest` — differential litmus fuzzing across semantics layers.
 
-This repository carries four independently implemented answers to "what
+This repository carries five independently implemented answers to "what
 may this litmus test do?":
 
 1. the **operational** memory-model executors (SC interleaving and
@@ -8,15 +8,21 @@ may this litmus test do?":
 2. the **axiomatic** SC checker (candidate-execution enumeration,
    :mod:`repro.memodel.axiomatic`),
 3. direct **RTL** enumeration of Multi-V-scale's architectural
-   outcomes (:mod:`repro.verifier.outcomes`), and
+   outcomes (:mod:`repro.verifier.outcomes`),
 4. the full **RTLCheck verifier** (µspec axioms as generated temporal
-   SVA, :mod:`repro.core.rtlcheck`).
+   SVA, :mod:`repro.core.rtlcheck`), and
+5. the **trace** oracle: sampled RTL executions under randomized
+   arbiter schedules (:mod:`repro.vscale.trace`), each judged by the
+   polynomial-time per-execution consistency checker
+   (:mod:`repro.memodel.polycheck`).  Unlike layers 1–4 it never
+   enumerates, so it scales to long programs the exhaustive oracles
+   cannot touch.
 
 RTLCheck's whole value proposition is that these independently-derived
 semantics must agree — the paper found the V-scale store-dropping bug
 precisely because two layers disagreed.  This package systematizes
 that: a seeded fuzzer generates litmus tests, every test runs through
-all four layers, and any violated cross-layer invariant is reported as
+all five layers, and any violated cross-layer invariant is reported as
 a structured discrepancy with a delta-debugged minimal reproducer.
 See ``docs/difftest.md``.
 """
@@ -30,7 +36,9 @@ from repro.difftest.generate import FuzzGenerator, generated_test
 from repro.difftest.oracles import (
     ORACLE_NAMES,
     TestVerdicts,
+    TraceCheck,
     evaluate_oracles,
+    trace_verdicts,
 )
 from repro.difftest.report import (
     DIFFTEST_REPORT_KIND,
@@ -50,6 +58,7 @@ __all__ = [
     "INVARIANTS",
     "ORACLE_NAMES",
     "TestVerdicts",
+    "TraceCheck",
     "cross_check",
     "discrepancy_predicate",
     "evaluate_oracles",
@@ -57,6 +66,7 @@ __all__ = [
     "generated_test",
     "run_fuzz",
     "shrink_test",
+    "trace_verdicts",
     "validate_fuzz_report",
     "write_reproducer",
 ]

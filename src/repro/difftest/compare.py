@@ -26,6 +26,19 @@ see ``docs/difftest.md`` for the derivation):
     outcome, so an architectural divergence outside that slice is
     legitimately invisible to it — e.g. ``n1`` on the buggy memory.)
 
+``trace-vs-sc``
+    Every execution the trace oracle sampled from the RTL must pass the
+    polynomial-time per-execution SC check.  This is the only invariant
+    that scales to long-program tests (the exhaustive layers never run
+    there).
+
+``trace-vs-enumeration``
+    When the operational oracle also ran, polycheck's per-trace verdict
+    must agree with membership in ``enumerate_sc_outcomes``: a sampled
+    outcome is SC-conformant iff it is in the enumerated SC outcome
+    set.  Disagreement in either direction is a polycheck
+    soundness/completeness bug, not a design bug.
+
 A discrepancy records the disagreeing oracle pair so the shrinker can
 re-run just those two layers while minimizing.
 """
@@ -43,6 +56,8 @@ INVARIANTS = (
     "sc-vs-tso",
     "rtl-vs-model",
     "verifier-vs-rtl",
+    "trace-vs-sc",
+    "trace-vs-enumeration",
 )
 
 
@@ -169,6 +184,58 @@ def cross_check(verdicts: TestVerdicts) -> List[Discrepancy]:
                             verdicts.verifier_failing_properties
                         ),
                         "rtl_matches_model": True,
+                    },
+                )
+            )
+
+    if verdicts.trace_checks is not None:
+        nonconformant = [c for c in verdicts.trace_checks if not c.conformant]
+        if nonconformant:
+            found.append(
+                Discrepancy(
+                    kind="trace-vs-sc",
+                    oracles=("trace", "polycheck"),
+                    test_name=name,
+                    details={
+                        "memory_variant": verdicts.memory_variant,
+                        "sampled": verdicts.trace_sampled,
+                        "nonconformant": len(nonconformant),
+                        "examples": [
+                            {
+                                "outcome": _render_outcome(c.outcome),
+                                "reason": c.reason,
+                            }
+                            for c in nonconformant[:4]
+                        ],
+                    },
+                )
+            )
+
+    if verdicts.trace_checks is not None and verdicts.op_outcomes is not None:
+        disagreements = [
+            c
+            for c in verdicts.trace_checks
+            if c.conformant != (c.outcome in verdicts.op_outcomes)
+        ]
+        if disagreements:
+            found.append(
+                Discrepancy(
+                    kind="trace-vs-enumeration",
+                    oracles=("trace", "operational"),
+                    test_name=name,
+                    details={
+                        "memory_variant": verdicts.memory_variant,
+                        "disagreements": len(disagreements),
+                        "examples": [
+                            {
+                                "outcome": _render_outcome(c.outcome),
+                                "polycheck_conformant": c.conformant,
+                                "enumeration_member": c.outcome
+                                in verdicts.op_outcomes,
+                                "reason": c.reason,
+                            }
+                            for c in disagreements[:4]
+                        ],
                     },
                 )
             )

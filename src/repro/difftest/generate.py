@@ -22,6 +22,12 @@ Two generation modes mix:
 Sizes are capped so the RTL enumeration oracle stays exhaustive within
 its state budget: 4-processor tests get fewer instructions per thread
 (the 4-core product space is the expensive one).
+
+**Long-program mode** (``long_programs=True``) mixes in a third shape:
+threads of 8–16 instructions with per-location unique store values and
+an empty candidate outcome.  These exceed the exhaustive oracles' caps
+by design — only the sampled ``trace`` oracle (polynomial per
+execution) can evaluate them, and the runner routes them there.
 """
 
 from __future__ import annotations
@@ -43,6 +49,13 @@ _OPS_CAP = {1: 6, 2: 5, 3: 4, 4: 2}
 #: Total-instruction cap independent of shape.
 _TOTAL_OPS_CAP = 10
 
+#: Long-program mode: per-thread instruction range and total cap.  The
+#: lower bound sits above the classic register-allocation limit so long
+#: tests genuinely exercise the extended compile geometry.
+_LONG_OPS_MIN = 8
+_LONG_OPS_MAX = 16
+_LONG_TOTAL_OPS_CAP = 64
+
 
 def _derive_rng(seed: int, index: int, attempt: int = 0) -> random.Random:
     """The single RNG an (index, attempt) derivation may use.  String
@@ -54,11 +67,14 @@ def _derive_rng(seed: int, index: int, attempt: int = 0) -> random.Random:
 class FuzzGenerator:
     """Deterministic ``index -> LitmusTest`` mapping for one seed."""
 
-    def __init__(self, seed: int = 0, max_procs: int = 4):
+    def __init__(
+        self, seed: int = 0, max_procs: int = 4, long_programs: bool = False
+    ):
         if not 1 <= max_procs <= 4:
             raise ReproError(f"max_procs must be 1..4, got {max_procs}")
         self.seed = seed
         self.max_procs = max_procs
+        self.long_programs = long_programs
 
     def test_at(self, index: int) -> LitmusTest:
         """The ``index``-th generated test (pure function of the seed).
@@ -99,6 +115,13 @@ class FuzzGenerator:
     # ------------------------------------------------------------------
 
     def _build(self, name: str, rng: random.Random) -> LitmusTest:
+        if self.long_programs and rng.random() < 0.6:
+            test = self._long_program(name, rng)
+            if test.num_threads > self.max_procs:
+                raise LitmusError(f"{name}: too many threads")
+            if test.instruction_count() > _LONG_TOTAL_OPS_CAP:
+                raise LitmusError(f"{name}: too many instructions")
+            return test
         if rng.random() < 0.6:
             test = self._cycle_seeded(name, rng)
         else:
@@ -165,6 +188,41 @@ class FuzzGenerator:
             threads.append(ops)
         out_regs, out_mem = self._rewrite_outcome(threads, rng)
         return LitmusTest.of(name, threads, Outcome.of(out_regs, out_mem))
+
+    # -- long-program mode ---------------------------------------------
+
+    def _long_program(self, name: str, rng: random.Random) -> LitmusTest:
+        """8–16 instructions per thread, unique store values per
+        location, empty candidate outcome.
+
+        Unique values keep every read and the final writer unambiguous,
+        which is the polynomial case of per-execution checking (the
+        closure pins the coherence order, so polycheck never needs a
+        large witness search).  The empty outcome reflects the trace
+        oracle's nature: it judges *sampled executions*, not one
+        candidate outcome.
+        """
+        num_procs = rng.randint(2, self.max_procs)
+        num_vars = rng.randint(2, len(_VARS))
+        variables = list(_VARS[:num_vars])
+        next_value = {var: 0 for var in variables}
+        threads: List[List[MemOp]] = []
+        reg = 0
+        for _ in range(num_procs):
+            ops: List[MemOp] = []
+            for _ in range(rng.randint(_LONG_OPS_MIN, _LONG_OPS_MAX)):
+                roll = rng.random()
+                var = rng.choice(variables)
+                if roll < 0.45:
+                    next_value[var] += 1
+                    ops.append(store(var, next_value[var]))
+                elif roll < 0.92:
+                    reg += 1
+                    ops.append(load(var, f"r{reg}"))
+                else:
+                    ops.append(fence())
+            threads.append(ops)
+        return LitmusTest.of(name, threads, Outcome.of({}))
 
     # -- perturbations (all deterministic in rng) ----------------------
 

@@ -1,4 +1,4 @@
-"""The four oracle layers behind differential litmus testing.
+"""The five oracle layers behind differential litmus testing.
 
 Each oracle answers independently; :mod:`repro.difftest.compare` then
 checks the cross-layer invariants.  All entry points here observe the
@@ -7,6 +7,13 @@ naming a register no load writes, a final value for an unused location)
 raises :class:`~repro.errors.ReproError` naming the offending test, and
 internal ``KeyError``/``AssertionError`` escapes are converted to the
 same — fuzz campaigns must diagnose, not crash.
+
+The first four layers answer about the test's *outcome set* (exhaustive
+enumeration or full formal verification).  The fifth — ``trace`` —
+samples seeded randomized executions from the RTL and checks each one
+individually with the polynomial-time per-execution checker
+(:mod:`repro.memodel.polycheck`), which is the only layer that scales
+to the generator's long-program mode.
 """
 
 from __future__ import annotations
@@ -30,7 +37,10 @@ from repro.verifier.outcomes import (
 )
 
 #: The oracle layers, in report order.
-ORACLE_NAMES = ("operational", "axiomatic", "rtl", "verifier")
+ORACLE_NAMES = ("operational", "axiomatic", "rtl", "verifier", "trace")
+
+#: Executions the trace oracle samples per test by default.
+DEFAULT_TRACE_SAMPLES = 8
 
 #: An outcome set: frozenset of (sorted regs, sorted final memory).
 OutcomeSet = FrozenSet[Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, int], ...]]]
@@ -58,6 +68,47 @@ def outcomes_from_json(data) -> OutcomeSet:
 
 
 @dataclass
+class TraceCheck:
+    """One sampled RTL execution plus its per-execution SC verdict."""
+
+    registers: Tuple[Tuple[str, int], ...]
+    final_memory: Tuple[Tuple[str, int], ...]
+    conformant: bool
+    reason: str = ""
+    events: int = 0
+    closure_rejected: bool = False
+    search_states: int = 0
+
+    @property
+    def outcome(self) -> Tuple:
+        """The execution's architectural outcome in outcome-set shape."""
+        return (self.registers, self.final_memory)
+
+    def to_json(self) -> Dict:
+        return {
+            "registers": [list(pair) for pair in self.registers],
+            "final_memory": [list(pair) for pair in self.final_memory],
+            "conformant": self.conformant,
+            "reason": self.reason,
+            "events": self.events,
+            "closure_rejected": self.closure_rejected,
+            "search_states": self.search_states,
+        }
+
+    @staticmethod
+    def from_json(data: Dict) -> "TraceCheck":
+        return TraceCheck(
+            registers=tuple((n, v) for n, v in data["registers"]),
+            final_memory=tuple((a, v) for a, v in data["final_memory"]),
+            conformant=data["conformant"],
+            reason=data["reason"],
+            events=data["events"],
+            closure_rejected=data["closure_rejected"],
+            search_states=data["search_states"],
+        )
+
+
+@dataclass
 class TestVerdicts:
     """Everything the selected oracle layers concluded about one test."""
 
@@ -77,6 +128,10 @@ class TestVerdicts:
     verifier_bug_found: Optional[bool] = None
     verifier_verified_by_cover: Optional[bool] = None
     verifier_failing_properties: List[str] = field(default_factory=list)
+    # trace (sampled per-execution) layer
+    trace_checks: Optional[List[TraceCheck]] = None
+    trace_sampled: Optional[int] = None
+    trace_undrained: Optional[int] = None
     #: oracle name -> error string for layers that refused the test.
     errors: Dict[str, str] = field(default_factory=dict)
 
@@ -109,6 +164,16 @@ class TestVerdicts:
                 "bug_found": self.verifier_bug_found,
                 "verified_by_cover": self.verifier_verified_by_cover,
                 "failing_properties": list(self.verifier_failing_properties),
+            },
+            "trace": None
+            if self.trace_checks is None
+            else {
+                "sampled": self.trace_sampled,
+                "unique": len(self.trace_checks),
+                "undrained": self.trace_undrained,
+                "nonconformant": sum(
+                    1 for c in self.trace_checks if not c.conformant
+                ),
             },
             "errors": dict(self.errors),
         }
@@ -183,6 +248,48 @@ def rtl_verdicts(
     return _guard(test, "rtl", body)
 
 
+def trace_verdicts(
+    test: LitmusTest,
+    memory_variant: str = "fixed",
+    samples: int = DEFAULT_TRACE_SAMPLES,
+    seed: int = 0,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> Tuple[List[TraceCheck], int, int]:
+    """Sample ``samples`` RTL executions and polycheck each under SC.
+
+    Returns ``(checks, sampled, undrained)``.  ``max_states`` bounds
+    the per-trace witness search; a tripped budget raises
+    :class:`ReproError` (the campaign records the refusal rather than
+    mislabeling the trace).
+    """
+    check_wellformed(test)
+
+    def body():
+        from repro.memodel.polycheck import check_trace
+        from repro.vscale.trace import harvest_traces
+
+        harvest = harvest_traces(
+            test, memory_variant, samples=samples, seed=seed
+        )
+        checks = []
+        for trace in harvest.traces:
+            verdict = check_trace(trace, "sc", max_states=max_states)
+            checks.append(
+                TraceCheck(
+                    registers=trace.load_values,
+                    final_memory=trace.final_memory,
+                    conformant=verdict.conformant,
+                    reason=verdict.reason,
+                    events=verdict.events,
+                    closure_rejected=verdict.closure_rejected,
+                    search_states=verdict.search_states,
+                )
+            )
+        return checks, harvest.sampled, harvest.undrained
+
+    return _guard(test, "trace", body)
+
+
 def verifier_verdicts(test: LitmusTest, memory_variant: str = "fixed", rtlcheck=None):
     """Run the full RTLCheck flow; returns its
     :class:`~repro.core.results.TestVerification`."""
@@ -206,13 +313,17 @@ def evaluate_oracles(
     max_states: int = DEFAULT_MAX_STATES,
     rtlcheck=None,
     cache=None,
+    trace_samples: int = DEFAULT_TRACE_SAMPLES,
+    trace_seed: int = 0,
 ) -> TestVerdicts:
     """Run the selected oracle layers on ``test``.
 
     A layer that raises :class:`ReproError` *after* the up-front
     well-formedness check is recorded in ``verdicts.errors`` and its
     comparisons are skipped — a single odd test must not abort a fuzz
-    campaign.  (Malformed tests still raise: that is a generator bug.)
+    campaign.  This holds for **every** layer, operational and
+    axiomatic included.  (Malformed tests still raise: that is a
+    generator bug.)
 
     ``cache``, when given, is a :class:`repro.cache.VerificationCache`:
     the operational/axiomatic outcome sets (design-independent keys) and
@@ -235,49 +346,55 @@ def evaluate_oracles(
 
     if "operational" in oracles:
         with obs.span("oracle.operational", test=test.name):
-            payload = key = None
-            if cache is not None:
-                key = cache_keys.oracle_key("operational", test)
-                payload = cache.load_oracle(key)
-            if payload is None:
-                outcomes, allowed, tso = operational_verdicts(test)
-                if key is not None:
-                    cache.store_oracle(
-                        key,
-                        {
-                            "outcomes": outcomes_to_json(outcomes),
-                            "allowed": allowed,
-                            "tso_allowed": tso,
-                        },
-                    )
-            else:
-                outcomes = outcomes_from_json(payload["outcomes"])
-                allowed = payload["allowed"]
-                tso = payload["tso_allowed"]
-        verdicts.op_outcomes = outcomes
-        verdicts.op_allowed = allowed
-        verdicts.tso_allowed_ = tso
+            try:
+                payload = key = None
+                if cache is not None:
+                    key = cache_keys.oracle_key("operational", test)
+                    payload = cache.load_oracle(key)
+                if payload is None:
+                    outcomes, allowed, tso = operational_verdicts(test)
+                    if key is not None:
+                        cache.store_oracle(
+                            key,
+                            {
+                                "outcomes": outcomes_to_json(outcomes),
+                                "allowed": allowed,
+                                "tso_allowed": tso,
+                            },
+                        )
+                else:
+                    outcomes = outcomes_from_json(payload["outcomes"])
+                    allowed = payload["allowed"]
+                    tso = payload["tso_allowed"]
+                verdicts.op_outcomes = outcomes
+                verdicts.op_allowed = allowed
+                verdicts.tso_allowed_ = tso
+            except ReproError as exc:
+                verdicts.errors["operational"] = str(exc)
     if "axiomatic" in oracles:
         with obs.span("oracle.axiomatic", test=test.name):
-            payload = key = None
-            if cache is not None:
-                key = cache_keys.oracle_key("axiomatic", test)
-                payload = cache.load_oracle(key)
-            if payload is None:
-                outcomes, allowed = axiomatic_verdicts(test)
-                if key is not None:
-                    cache.store_oracle(
-                        key,
-                        {
-                            "outcomes": outcomes_to_json(outcomes),
-                            "allowed": allowed,
-                        },
-                    )
-            else:
-                outcomes = outcomes_from_json(payload["outcomes"])
-                allowed = payload["allowed"]
-        verdicts.ax_outcomes = outcomes
-        verdicts.ax_allowed = allowed
+            try:
+                payload = key = None
+                if cache is not None:
+                    key = cache_keys.oracle_key("axiomatic", test)
+                    payload = cache.load_oracle(key)
+                if payload is None:
+                    outcomes, allowed = axiomatic_verdicts(test)
+                    if key is not None:
+                        cache.store_oracle(
+                            key,
+                            {
+                                "outcomes": outcomes_to_json(outcomes),
+                                "allowed": allowed,
+                            },
+                        )
+                else:
+                    outcomes = outcomes_from_json(payload["outcomes"])
+                    allowed = payload["allowed"]
+                verdicts.ax_outcomes = outcomes
+                verdicts.ax_allowed = allowed
+            except ReproError as exc:
+                verdicts.errors["axiomatic"] = str(exc)
     if "rtl" in oracles:
         with obs.span("oracle.rtl", test=test.name, memory=memory_variant):
             try:
@@ -348,6 +465,61 @@ def evaluate_oracles(
                 ]
             except ReproError as exc:
                 verdicts.errors["verifier"] = str(exc)
+    if "trace" in oracles:
+        with obs.span(
+            "oracle.trace",
+            test=test.name,
+            memory=memory_variant,
+            samples=trace_samples,
+        ):
+            try:
+                payload = key = None
+                if cache is not None:
+                    key = cache_keys.oracle_key(
+                        "trace",
+                        test,
+                        memory_variant,
+                        max_states,
+                        extra={"samples": trace_samples, "seed": trace_seed},
+                    )
+                    payload = cache.load_oracle(key)
+                if payload is None:
+                    checks, sampled, undrained = trace_verdicts(
+                        test,
+                        memory_variant,
+                        samples=trace_samples,
+                        seed=trace_seed,
+                        max_states=max_states,
+                    )
+                    if key is not None:
+                        cache.store_oracle(
+                            key,
+                            {
+                                "checks": [c.to_json() for c in checks],
+                                "sampled": sampled,
+                                "undrained": undrained,
+                            },
+                        )
+                else:
+                    checks = [
+                        TraceCheck.from_json(c) for c in payload["checks"]
+                    ]
+                    sampled = payload["sampled"]
+                    undrained = payload["undrained"]
+                    if recorder.enabled:
+                        # Replay the counters the cold polycheck pass
+                        # records (repro.memodel.polycheck), so a warm
+                        # campaign aggregates identically.
+                        recorder.count("polycheck.traces", len(checks))
+                        recorder.count(
+                            "polycheck.events",
+                            sum(c.events for c in checks),
+                        )
+                verdicts.trace_checks = checks
+                verdicts.trace_sampled = sampled
+                verdicts.trace_undrained = undrained
+            except ReproError as exc:
+                verdicts.errors["trace"] = str(exc)
     if recorder.enabled:
         recorder.count("difftest.oracle_runs", len(oracles))
         if verdicts.errors:

@@ -18,10 +18,16 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+import os
+
 from repro import obs
 from repro.difftest.compare import Discrepancy, cross_check
-from repro.difftest.generate import FuzzGenerator
-from repro.difftest.oracles import ORACLE_NAMES, evaluate_oracles
+from repro.difftest.generate import _TOTAL_OPS_CAP, FuzzGenerator
+from repro.difftest.oracles import (
+    DEFAULT_TRACE_SAMPLES,
+    ORACLE_NAMES,
+    evaluate_oracles,
+)
 from repro.difftest.shrink import (
     DEFAULT_MAX_EVALUATIONS,
     discrepancy_predicate,
@@ -56,6 +62,13 @@ class FuzzConfig:
     #: outcome sets and verifier verdicts are memoized across runs and
     #: the campaign checkpoints after every completed test.
     cache_dir: Optional[str] = None
+    #: Mix long programs (8–16 instructions/thread) into the generated
+    #: stream.  Long tests exceed the exhaustive oracles' caps, so the
+    #: runner evaluates them with the ``trace`` oracle only (and counts
+    #: the gating under ``skipped["long_program"]``).
+    long_programs: bool = False
+    #: Executions the trace oracle samples per test.
+    trace_samples: int = DEFAULT_TRACE_SAMPLES
 
     def __post_init__(self):
         if self.budget < 0:
@@ -72,6 +85,15 @@ class FuzzConfig:
                 raise ReproError(
                     f"unknown oracle {oracle!r}; choose from {list(ORACLE_NAMES)}"
                 )
+        if self.long_programs and "trace" not in self.oracles:
+            raise ReproError(
+                "long_programs requires the 'trace' oracle (the "
+                "exhaustive layers cannot evaluate long tests)"
+            )
+        if self.trace_samples < 1:
+            raise ReproError(
+                f"trace_samples must be >= 1, got {self.trace_samples}"
+            )
 
 
 @dataclass
@@ -130,10 +152,28 @@ class FuzzResult:
         return fuzz_report(self)
 
 
-def _fuzz_worker(test, memory_variant, oracles, max_states, observe, cache_dir=None):
+#: Test-crash injection hook for the worker-crash regression tests:
+#: when set to a test name, the worker raises a non-ReproError for that
+#: test.  An environment variable (not a monkeypatch) because pool
+#: workers live in separate processes.
+CRASH_TEST_ENV = "REPRO_DIFFTEST_CRASH_TEST"
+
+
+def _fuzz_worker(
+    test,
+    memory_variant,
+    oracles,
+    max_states,
+    observe,
+    cache_dir=None,
+    trace_samples=DEFAULT_TRACE_SAMPLES,
+    trace_seed=0,
+):
     """Module-level task body for the fuzz process pool: evaluate one
     test, cross-check, and ship everything picklable back (including
     this evaluation's cache-statistics delta, merged by the parent)."""
+    if os.environ.get(CRASH_TEST_ENV) == test.name:
+        raise RuntimeError(f"injected worker crash on {test.name}")
     cache = None
     if cache_dir is not None:
         from repro.cache import VerificationCache
@@ -149,10 +189,18 @@ def _fuzz_worker(test, memory_variant, oracles, max_states, observe, cache_dir=N
                     oracles,
                     max_states=max_states,
                     cache=cache,
+                    trace_samples=trace_samples,
+                    trace_seed=trace_seed,
                 )
         else:
             verdicts = evaluate_oracles(
-                test, memory_variant, oracles, max_states=max_states, cache=cache
+                test,
+                memory_variant,
+                oracles,
+                max_states=max_states,
+                cache=cache,
+                trace_samples=trace_samples,
+                trace_seed=trace_seed,
             )
     except ReproError as exc:
         return {
@@ -173,6 +221,21 @@ def _fuzz_worker(test, memory_variant, oracles, max_states, observe, cache_dir=N
     }
 
 
+def _crash_outcome(exc: BaseException) -> Dict:
+    """Worker-crash placeholder outcome: the campaign records the crash
+    as a per-test error (with a ``crashed`` marker) and keeps going —
+    one broken worker must not kill a long campaign."""
+    return {
+        "error": f"worker crashed: {exc!r}",
+        "crashed": True,
+        "summary": None,
+        "discrepancies": [],
+        "rtl_incomplete": False,
+        "obs": None,
+        "cache_stats": None,
+    }
+
+
 def _tally(tally: Dict[str, int], summary: Dict) -> None:
     op = summary.get("operational")
     if op is not None:
@@ -187,6 +250,10 @@ def _tally(tally: Dict[str, int], summary: Dict) -> None:
     verifier = summary.get("verifier")
     if verifier is not None and verifier["bug_found"]:
         tally["verifier_bug_found"] = tally.get("verifier_bug_found", 0) + 1
+    trace = summary.get("trace")
+    if trace is not None:
+        key = "trace_sc_fail" if trace["nonconformant"] else "trace_clean"
+        tally[key] = tally.get(key, 0) + 1
 
 
 def run_fuzz(
@@ -208,24 +275,45 @@ def run_fuzz(
         from repro.cache import VerificationCache, keys as cache_keys
 
         cache = VerificationCache(config.cache_dir)
-        campaign = cache_keys.campaign_key(
-            "fuzz",
-            {
-                "seed": config.seed,
-                "budget": config.budget,
-                "oracles": list(config.oracles),
-                "memory_variant": config.memory_variant,
-                "max_states": config.max_states,
-                "max_procs": config.max_procs,
-                "observe": config.observe,
-            },
-        )
+        campaign_payload = {
+            "seed": config.seed,
+            "budget": config.budget,
+            "oracles": list(config.oracles),
+            "memory_variant": config.memory_variant,
+            "max_states": config.max_states,
+            "max_procs": config.max_procs,
+            "observe": config.observe,
+        }
+        # Folded in only when non-default, so pre-existing campaign
+        # checkpoints keep their keys.
+        if config.long_programs:
+            campaign_payload["long_programs"] = True
+        if config.trace_samples != DEFAULT_TRACE_SAMPLES:
+            campaign_payload["trace_samples"] = config.trace_samples
+        campaign = cache_keys.campaign_key("fuzz", campaign_payload)
         manifest = cache.checkpoint(campaign, total=config.budget)
         result.resumed = manifest.resumed
 
     with obs.span("fuzz.generate", seed=config.seed, budget=config.budget):
-        generator = FuzzGenerator(config.seed, max_procs=config.max_procs)
+        generator = FuzzGenerator(
+            config.seed,
+            max_procs=config.max_procs,
+            long_programs=config.long_programs,
+        )
         tests = generator.suite(config.budget)
+
+    def oracles_for(test: LitmusTest) -> Tuple[str, ...]:
+        """Long tests exceed the exhaustive oracles' caps: route them to
+        the trace oracle alone (counted under ``skipped``)."""
+        if test.instruction_count() <= _TOTAL_OPS_CAP:
+            return config.oracles
+        return tuple(o for o in config.oracles if o == "trace")
+
+    long_gated = sum(
+        1 for test in tests if oracles_for(test) != config.oracles
+    )
+    if long_gated:
+        result.skipped["long_program"] = long_gated
 
     outcomes: Dict[int, Dict] = {}
     with obs.span("fuzz.evaluate", jobs=config.jobs):
@@ -236,32 +324,48 @@ def run_fuzz(
                         _fuzz_worker,
                         test,
                         config.memory_variant,
-                        config.oracles,
+                        oracles_for(test),
                         config.max_states,
                         config.observe,
                         config.cache_dir,
+                        config.trace_samples,
+                        config.seed,
                     ): index
                     for index, test in enumerate(tests)
                 }
                 for future in as_completed(futures):
                     index = futures[future]
-                    outcomes[index] = future.result()
-                    if manifest is not None:
-                        manifest.mark_done(str(index))
+                    try:
+                        outcomes[index] = future.result()
+                    except Exception as exc:
+                        # A non-ReproError escape killed the worker.
+                        # Record it per-test; do NOT mark the index done
+                        # in the checkpoint manifest, so a resumed run
+                        # retries it.
+                        outcomes[index] = _crash_outcome(exc)
+                    else:
+                        if manifest is not None:
+                            manifest.mark_done(str(index))
                     if progress is not None:
                         progress(index, tests[index].name)
         else:
             for index, test in enumerate(tests):
-                outcomes[index] = _fuzz_worker(
-                    test,
-                    config.memory_variant,
-                    config.oracles,
-                    config.max_states,
-                    config.observe,
-                    config.cache_dir,
-                )
-                if manifest is not None:
-                    manifest.mark_done(str(index))
+                try:
+                    outcomes[index] = _fuzz_worker(
+                        test,
+                        config.memory_variant,
+                        oracles_for(test),
+                        config.max_states,
+                        config.observe,
+                        config.cache_dir,
+                        config.trace_samples,
+                        config.seed,
+                    )
+                except Exception as exc:
+                    outcomes[index] = _crash_outcome(exc)
+                else:
+                    if manifest is not None:
+                        manifest.mark_done(str(index))
                 if progress is not None:
                     progress(index, test.name)
 
@@ -275,9 +379,13 @@ def run_fuzz(
         if cache is not None and outcome.get("cache_stats"):
             cache.stats.merge(outcome["cache_stats"])
         if outcome["error"] is not None:
-            result.oracle_errors.append(
-                {"test": test.name, "index": index, "error": outcome["error"]}
-            )
+            entry = {"test": test.name, "index": index, "error": outcome["error"]}
+            if outcome.get("crashed"):
+                entry["crashed"] = True
+                result.skipped["worker_crashed"] = (
+                    result.skipped.get("worker_crashed", 0) + 1
+                )
+            result.oracle_errors.append(entry)
             continue
         summary = outcome["summary"]
         result.verdicts[test.name] = summary
@@ -293,6 +401,12 @@ def run_fuzz(
         if outcome["rtl_incomplete"]:
             result.skipped["rtl_incomplete"] = (
                 result.skipped.get("rtl_incomplete", 0) + 1
+            )
+        trace_summary = summary.get("trace")
+        if trace_summary is not None and trace_summary["undrained"]:
+            result.skipped["trace_undrained"] = (
+                result.skipped.get("trace_undrained", 0)
+                + trace_summary["undrained"]
             )
         _tally(result.verdict_tally, summary)
         for discrepancy in outcome["discrepancies"]:
@@ -336,6 +450,8 @@ def _shrink_entries(config: FuzzConfig, result: FuzzResult) -> None:
             entry.discrepancy.kind,
             memory_variant=config.memory_variant,
             max_states=config.max_states,
+            trace_samples=config.trace_samples,
+            trace_seed=config.seed,
         )
         try:
             minimized, stats = shrink_test(

@@ -16,6 +16,7 @@ resampling.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import LitmusError, ReproError
@@ -34,16 +35,27 @@ def discrepancy_predicate(
     memory_variant: str = "fixed",
     max_states: int = DEFAULT_MAX_STATES,
     rtlcheck=None,
+    trace_samples: Optional[int] = None,
+    trace_seed: int = 0,
 ) -> Predicate:
     """Build the "does this oracle pair still disagree?" test for one
     discrepancy kind.  Candidates that any involved oracle rejects with
-    :class:`ReproError` are treated as non-reproducing (``False``)."""
+    :class:`ReproError` are treated as non-reproducing (``False``).
+
+    ``trace_samples``/``trace_seed`` parameterize the trace-oracle
+    kinds so the shrinker replays exactly the campaign's sampling.
+    """
     from repro.difftest.oracles import (
+        DEFAULT_TRACE_SAMPLES,
         axiomatic_verdicts,
         operational_verdicts,
         rtl_verdicts,
+        trace_verdicts,
         verifier_verdicts,
     )
+
+    if trace_samples is None:
+        trace_samples = DEFAULT_TRACE_SAMPLES
 
     def op_vs_ax(test: LitmusTest) -> bool:
         op_set, op_ok, _tso = operational_verdicts(test)
@@ -67,11 +79,34 @@ def discrepancy_predicate(
         result = verifier_verdicts(test, memory_variant, rtlcheck)
         return bool(result.bug_found)
 
+    def trace_vs_sc(test: LitmusTest) -> bool:
+        checks, _sampled, _undrained = trace_verdicts(
+            test,
+            memory_variant,
+            samples=trace_samples,
+            seed=trace_seed,
+            max_states=max_states,
+        )
+        return any(not c.conformant for c in checks)
+
+    def trace_vs_enumeration(test: LitmusTest) -> bool:
+        op_set, _ok, _tso = operational_verdicts(test)
+        checks, _sampled, _undrained = trace_verdicts(
+            test,
+            memory_variant,
+            samples=trace_samples,
+            seed=trace_seed,
+            max_states=max_states,
+        )
+        return any(c.conformant != (c.outcome in op_set) for c in checks)
+
     bodies: Dict[str, Predicate] = {
         "operational-vs-axiomatic": op_vs_ax,
         "sc-vs-tso": sc_vs_tso,
         "rtl-vs-model": rtl_vs_model,
         "verifier-vs-rtl": verifier_vs_rtl,
+        "trace-vs-sc": trace_vs_sc,
+        "trace-vs-enumeration": trace_vs_enumeration,
     }
     if kind not in bodies:
         raise ReproError(f"unknown discrepancy kind {kind!r}")
@@ -178,21 +213,37 @@ def _reductions(test: LitmusTest) -> Iterator[LitmusTest]:
                     yield cand
 
 
+_ADDR_NAMES = "xyzwabcdefgh"
+
+
+def _addr_name(index: int) -> str:
+    """Canonical address name for first-use position ``index``; derived
+    (``v12, v13, ...``) once the letter pool runs out, so tests with
+    many addresses canonicalize instead of crashing."""
+    if index < len(_ADDR_NAMES):
+        return _ADDR_NAMES[index]
+    return f"v{index}"
+
+
 def _canonicalize(test: LitmusTest, name: str) -> LitmusTest:
     """Rename addresses to ``x, y, ...`` (first-use order — which is
     exactly the compiled address-map order, so RTL behaviour is
-    untouched) and load registers to ``r1..rn`` in program order.  Pure
-    renaming: every oracle is symbolic in these names, so the
-    discrepancy is preserved by construction."""
-    addr_names = "xyzwabcdefgh"
-    addr_map = {a: addr_names[i] for i, a in enumerate(test.addresses)}
+    untouched) and load registers to ``r1..rn`` in program order.  The
+    register map is stable per source register: if an (unvalidated)
+    input reuses a load register, both uses map to the same canonical
+    name and the resulting duplicate is rejected by
+    :meth:`LitmusTest.of` — renaming must never split one register
+    into two, which would change the outcome set.
+    """
+    addr_map = {a: _addr_name(i) for i, a in enumerate(test.addresses)}
     reg_map: Dict[str, str] = {}
     threads: List[List[MemOp]] = []
     for ops in test.threads:
         renamed: List[MemOp] = []
         for op in ops:
             if op.is_load:
-                reg_map[op.out] = f"r{len(reg_map) + 1}"
+                if op.out not in reg_map:
+                    reg_map[op.out] = f"r{len(reg_map) + 1}"
                 renamed.append(load(addr_map[op.addr], reg_map[op.out]))
             elif op.is_store:
                 renamed.append(store(addr_map[op.addr], op.value))
@@ -217,7 +268,12 @@ def shrink_test(
 
     Returns ``(minimized, stats)``; the minimized test is renamed
     ``<name>-min`` and canonicalized so equal-shape reproducers from
-    different fuzz indices deduplicate textually.  Raises
+    different fuzz indices deduplicate textually.  Canonicalization is
+    itself re-checked against the predicate (budget permitting): if the
+    renamed test no longer reproduces — or cannot be built — the
+    un-canonicalized minimized test is returned instead and
+    ``stats["canonicalization_dropped"]`` is set, so the shipped
+    reproducer always actually reproduces.  Raises
     :class:`ReproError` if the predicate does not hold on the input
     (shrinking an agreement would "minimize" to garbage).
     """
@@ -227,6 +283,7 @@ def shrink_test(
         "reductions_applied": 0,
         "rounds": 0,
         "budget_exhausted": False,
+        "canonicalization_dropped": False,
     }
 
     def holds(candidate: LitmusTest) -> bool:
@@ -257,7 +314,22 @@ def shrink_test(
         if stats["budget_exhausted"]:
             break
 
-    minimized = _canonicalize(current, f"{test.name}-min")
+    min_name = f"{test.name}-min"
+    renamed_only = dataclasses.replace(current, name=min_name)
+    minimized: Optional[LitmusTest]
+    try:
+        minimized = _canonicalize(current, min_name)
+    except LitmusError:
+        minimized = None
+    if minimized is not None and minimized != renamed_only:
+        if stats["predicate_calls"] < max_evaluations:
+            if not holds(minimized):
+                minimized = None
+        # Out of budget: keep the (pure-renaming) canonical form; the
+        # shrunk shape itself was predicate-checked when adopted.
+    if minimized is None:
+        stats["canonicalization_dropped"] = True
+        minimized = renamed_only
     stats["initial_instructions"] = test.instruction_count()
     stats["final_instructions"] = minimized.instruction_count()
     return minimized, stats

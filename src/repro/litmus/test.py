@@ -31,6 +31,17 @@ DATA_BASE_WORD = 40
 #: One-past-the-last data word of the Multi-V-scale model.
 DATA_MEM_WORDS = 48
 
+#: Instruction words reserved per core in the *classic* layout (program
+#: + halt must fit).  This is the canonical definition;
+#: :mod:`repro.vscale.params` re-exports it.  Compiling a litmus test
+#: whose longest thread does not fit (difftest's long-program mode)
+#: produces a :class:`CompiledTest` with a per-test extended geometry —
+#: see :func:`compile_test`.
+IMEM_WORDS_PER_CORE = 8
+
+#: Shared-variable capacity (identical in both geometries).
+MAX_VARIABLES = DATA_MEM_WORDS - DATA_BASE_WORD
+
 
 @dataclass(frozen=True)
 class MemOp:
@@ -262,7 +273,15 @@ class CompiledOp:
 
 @dataclass
 class CompiledTest:
-    """Result of compiling a :class:`LitmusTest` for Multi-V-scale."""
+    """Result of compiling a :class:`LitmusTest` for Multi-V-scale.
+
+    ``imem_words_per_core`` / ``data_base_word`` describe the memory
+    geometry this compile assumed.  Classic litmus tests use the fixed
+    paper layout (:data:`IMEM_WORDS_PER_CORE`, :data:`DATA_BASE_WORD`);
+    long-program difftest tests get an extended geometry sized to the
+    longest thread, with the data words relocated above the enlarged
+    instruction region.
+    """
 
     test: LitmusTest
     num_cores: int
@@ -270,6 +289,24 @@ class CompiledTest:
     programs: List[List[Instruction]] = field(default_factory=list)
     reg_init: List[Dict[int, int]] = field(default_factory=list)  # per core
     ops: List[CompiledOp] = field(default_factory=list)
+    imem_words_per_core: int = IMEM_WORDS_PER_CORE
+    data_base_word: int = DATA_BASE_WORD
+
+    @property
+    def classic_geometry(self) -> bool:
+        """True when this compile uses the paper's fixed address map."""
+        return (
+            self.imem_words_per_core == IMEM_WORDS_PER_CORE
+            and self.data_base_word == DATA_BASE_WORD
+        )
+
+    def imem_base_word(self, core: int) -> int:
+        """First instruction-memory word of ``core`` in this geometry."""
+        return 1 + self.imem_words_per_core * core
+
+    def core_base_pc(self, core: int) -> int:
+        """Reset PC of ``core`` in this geometry."""
+        return 4 * self.imem_base_word(core)
 
     def ops_on_core(self, core: int) -> List[CompiledOp]:
         return [op for op in self.ops if op.core == core]
@@ -293,28 +330,102 @@ class CompiledTest:
         return {self.address_map[var]: init[var] for var in self.address_map}
 
 
+#: Longest thread the classic 2-registers-per-op allocation handles
+#: (``addr_reg = 1 + 2*index`` stays below x31 through index 14).
+_CLASSIC_THREAD_OPS = 15
+
+
+class _CompactRegAlloc:
+    """Register allocator for threads too long for the classic scheme.
+
+    Shares one address register per distinct variable and one data
+    register per distinct store value, while every load still gets its
+    own destination register (results are read back from the register
+    file after the run, so load destinations must never be reused).
+    """
+
+    def __init__(self, test_name: str, core: int):
+        self.test_name = test_name
+        self.core = core
+        self.next_reg = 1
+        self.addr_regs: Dict[str, int] = {}
+        self.value_regs: Dict[int, int] = {}
+
+    def _fresh(self) -> int:
+        reg = self.next_reg
+        if reg >= 31:
+            raise LitmusError(
+                f"{self.test_name}: thread {self.core} too long"
+            )
+        self.next_reg += 1
+        return reg
+
+    def addr_reg(self, var: str) -> int:
+        if var not in self.addr_regs:
+            self.addr_regs[var] = self._fresh()
+        return self.addr_regs[var]
+
+    def store_data_reg(self, value: int) -> int:
+        if value not in self.value_regs:
+            self.value_regs[value] = self._fresh()
+        return self.value_regs[value]
+
+    def load_dest_reg(self) -> int:
+        return self._fresh()
+
+
 def compile_test(test: LitmusTest, num_cores: int = 4) -> CompiledTest:
     """Compile ``test`` into per-core RV32I programs for Multi-V-scale.
 
     Threads beyond ``test.num_threads`` get a bare ``halt``.  Every
     memory op becomes exactly one ``lw``/``sw`` with pre-initialized
     address/data registers; each thread ends with ``halt``.
+
+    Tests whose longest thread fits the paper's fixed layout compile
+    exactly as before (classic geometry and classic register numbering,
+    so existing µspec mappings and Verilog emission are byte-stable).
+    Longer tests — difftest's long-program mode — get an extended
+    geometry: the per-core instruction region grows to the longest
+    program, data words move above it, and registers are allocated
+    compactly (shared address/value registers, fresh load
+    destinations).
     """
     if test.num_threads > num_cores:
         raise LitmusError(
             f"{test.name}: needs {test.num_threads} cores, only {num_cores} available"
         )
     variables = test.addresses
-    if DATA_BASE_WORD + len(variables) > DATA_MEM_WORDS:
+    if len(variables) > MAX_VARIABLES:
         raise LitmusError(f"{test.name}: too many shared variables")
-    address_map = {var: DATA_BASE_WORD + i for i, var in enumerate(variables)}
 
-    compiled = CompiledTest(test=test, num_cores=num_cores, address_map=address_map)
+    longest_program = 1 + max(
+        (len(t) for t in test.threads), default=0
+    )  # +1 for the trailing halt
+    if longest_program <= IMEM_WORDS_PER_CORE:
+        imem_words = IMEM_WORDS_PER_CORE
+        data_base = DATA_BASE_WORD
+    else:
+        imem_words = longest_program
+        data_base = 1 + imem_words * num_cores
+    address_map = {var: data_base + i for i, var in enumerate(variables)}
+
+    compiled = CompiledTest(
+        test=test,
+        num_cores=num_cores,
+        address_map=address_map,
+        imem_words_per_core=imem_words,
+        data_base_word=data_base,
+    )
     uid = 0
     for core in range(num_cores):
         thread = test.threads[core] if core < test.num_threads else ()
         program: List[Instruction] = []
         regs: Dict[int, int] = {}
+        compact = (
+            _CompactRegAlloc(test.name, core)
+            if len(thread) > _CLASSIC_THREAD_OPS
+            else None
+        )
         for index, op in enumerate(thread):
             uid += 1
             pc = 4 * len(program)
@@ -322,10 +433,18 @@ def compile_test(test: LitmusTest, num_cores: int = 4) -> CompiledTest:
             if op.is_fence:
                 instr: Instruction = Fence()
             else:
-                addr_reg = 1 + 2 * index
-                data_reg = 2 + 2 * index
-                if addr_reg >= 31:
-                    raise LitmusError(f"{test.name}: thread {core} too long")
+                if compact is None:
+                    addr_reg = 1 + 2 * index
+                    data_reg = 2 + 2 * index
+                    if addr_reg >= 31:
+                        raise LitmusError(f"{test.name}: thread {core} too long")
+                else:
+                    addr_reg = compact.addr_reg(op.addr)
+                    data_reg = (
+                        compact.store_data_reg(op.value)
+                        if op.is_store
+                        else compact.load_dest_reg()
+                    )
                 regs[addr_reg] = 4 * address_map[op.addr]
                 if op.is_store:
                     regs[data_reg] = op.value

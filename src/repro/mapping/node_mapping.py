@@ -20,7 +20,6 @@ from typing import Optional, Protocol, Tuple
 from repro.errors import MappingError
 from repro.litmus.test import CompiledTest
 from repro.sva.ast import BNot, BoolExpr, Sig, SigEq, band
-from repro.vscale.params import core_base_pc
 
 #: A µhb node at the mapping interface: (microop uid, stage name).
 MapNode = Tuple[int, str]
@@ -44,7 +43,7 @@ class MultiVScaleNodeMapping:
 
     def absolute_pc(self, uid: int) -> int:
         op = self.compiled.op_by_uid(uid)
-        return core_base_pc(op.core) + op.pc
+        return self.compiled.core_base_pc(op.core) + op.pc
 
     def map_node(self, node: MapNode, load_constraint: Optional[int] = None) -> BoolExpr:
         uid, stage = node

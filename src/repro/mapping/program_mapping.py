@@ -36,9 +36,6 @@ from repro.sva.ast import (
     BNot,
     band,
 )
-from repro.vscale.params import core_base_pc, imem_base_word
-
-
 def _implication(name: str, antecedent: BoolExpr, consequent: BoolExpr, structural: bool) -> Directive:
     return Directive(
         kind="assume",
@@ -61,7 +58,7 @@ class MultiVScaleProgramMapping:
         out = []
         first = Sig("first")
         for core, program in enumerate(self.compiled.programs):
-            base = imem_base_word(core)
+            base = self.compiled.imem_base_word(core)
             for offset, instr in enumerate(program):
                 out.append(
                     _implication(
@@ -123,7 +120,7 @@ class MultiVScaleProgramMapping:
             value = outcome[op.op.out]
             prefix = f"core[{op.core}]."
             at_wb = band(
-                SigEq(prefix + "PC_WB", core_base_pc(op.core) + op.pc),
+                SigEq(prefix + "PC_WB", self.compiled.core_base_pc(op.core) + op.pc),
                 BNot(Sig(prefix + "stall_WB")),
             )
             out.append(

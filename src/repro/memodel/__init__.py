@@ -1,4 +1,11 @@
-"""Memory-consistency-model oracles (SC and x86-TSO)."""
+"""Memory-consistency-model oracles (SC and x86-TSO).
+
+Two complementary styles live here: *enumeration* oracles that compute
+the full outcome set of a litmus test (operational and axiomatic), and
+the *per-execution* polynomial checker (:mod:`repro.memodel.polycheck`)
+that judges one observed trace against SC or TSO without enumerating
+anything.
+"""
 
 from repro.memodel.axiomatic import (
     CandidateExecution,
@@ -16,13 +23,23 @@ from repro.memodel.operational import (
     sc_forbidden,
     tso_allowed,
 )
+from repro.memodel.polycheck import (
+    DEFAULT_POLYCHECK_STATES,
+    Trace,
+    TraceVerdict,
+    check_trace,
+)
 
 __all__ = [
     "CandidateExecution",
+    "DEFAULT_POLYCHECK_STATES",
     "Event",
+    "Trace",
+    "TraceVerdict",
     "axiomatic_sc_allowed",
     "axiomatic_sc_outcomes",
     "axiomatic_sc_witness",
+    "check_trace",
     "enumerate_candidates",
     "enumerate_sc_outcomes",
     "enumerate_tso_outcomes",

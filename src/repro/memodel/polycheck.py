@@ -1,0 +1,485 @@
+"""Per-execution memory-consistency checking (Roy-et-al. style).
+
+The operational oracles in :mod:`repro.memodel.operational` enumerate
+*every* outcome a litmus test can produce — exponential in program
+size, and hopeless past a handful of instructions per thread.  This
+module answers the complementary question in the style of Roy et al.'s
+polynomial-time MCM verification: given **one observed execution** —
+per-thread program order, the value each load returned, and the final
+memory — is there a witness interleaving (SC) or store-buffer machine
+run (x86-TSO) that reproduces it?
+
+The checker is layered, cheapest first:
+
+1. **Value feasibility** — every load's observed value must be written
+   by some same-address store (or be the initial value), and every
+   location's final value must be the value of some store to it (or
+   the initial value when the location is never stored).  O(n) per
+   address; this alone rejects the classic V-scale store-dropping bug
+   (a lone ``[W x 1]`` ending with ``x = 0`` has no store writing 0).
+2. **Vector-clock closure** (SC only) — the Roy-et-al. frontier
+   construction: fixed reads-from edges (loads whose observed value
+   identifies a unique writer) and unique final writers induce
+   coherence orderings (for a load ``l`` reading store ``s``: any
+   same-address store ordered before ``l`` must be before ``s``, and
+   any ordered after ``s`` must be after ``l``); edges propagate
+   through O(n·p) vector clocks until fixpoint, and any cycle is a
+   sound rejection.
+3. **Witness search** — an exact memoized frontier search over
+   ``(pcs, memory)`` (SC) or ``(pcs, store buffers, memory)`` (TSO)
+   states, pruned by the observed load values and, under SC, by the
+   closure's must-happen-before clocks.  Deciding per-execution SC
+   with ambiguous reads-from is NP-complete in general, so the search
+   carries a state budget (:data:`DEFAULT_POLYCHECK_STATES`) and
+   raises :class:`~repro.errors.ReproError` when it trips — fuzz
+   campaigns record the refusal instead of mislabeling the trace.
+
+On the fuzzer's long-program mode, store values are unique per
+location, so every read and the final writer are unambiguous: the
+closure fixes the full coherence order and the search degenerates to
+walking one witness — the polynomial case Roy et al. identify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.errors import ReproError
+from repro.litmus.test import LitmusTest, MemOp
+from repro.memodel.operational import FinalState
+
+#: Witness-search state budget (matches the RTL enumeration default).
+DEFAULT_POLYCHECK_STATES = 200_000
+
+#: Sentinel writer id for "the initial value".
+_INIT = -1
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One observed execution of a litmus program.
+
+    ``load_values`` maps each load's output register to the value the
+    load returned; ``final_memory`` carries the post-run value of
+    *every* shared location.  Both are stored as sorted tuples so a
+    trace is hashable and digests deterministically.
+    """
+
+    threads: Tuple[Tuple[MemOp, ...], ...]
+    load_values: Tuple[Tuple[str, int], ...]
+    final_memory: Tuple[Tuple[str, int], ...]
+    initial_memory: Tuple[Tuple[str, int], ...] = ()
+
+    @staticmethod
+    def of(
+        threads: Sequence[Sequence[MemOp]],
+        load_values: Dict[str, int],
+        final_memory: Dict[str, int],
+        initial_memory: Optional[Dict[str, int]] = None,
+    ) -> "Trace":
+        return Trace(
+            threads=tuple(tuple(t) for t in threads),
+            load_values=tuple(sorted(load_values.items())),
+            final_memory=tuple(sorted(final_memory.items())),
+            initial_memory=tuple(sorted((initial_memory or {}).items())),
+        )
+
+    @staticmethod
+    def from_outcome(test: LitmusTest, outcome: FinalState) -> "Trace":
+        """Lift an enumerated :data:`FinalState` of ``test`` into a
+        trace — the bridge for cross-checking polycheck against the
+        exhaustive oracles."""
+        regs, memory = outcome
+        return Trace.of(
+            test.threads, dict(regs), dict(memory), test.initial_memory_map
+        )
+
+    @property
+    def outcome(self) -> FinalState:
+        """The trace's architectural outcome in oracle shape."""
+        return (self.load_values, self.final_memory)
+
+    def event_count(self) -> int:
+        return sum(len(t) for t in self.threads)
+
+
+@dataclass
+class TraceVerdict:
+    """Result of :func:`check_trace` on one trace."""
+
+    conformant: bool
+    model: str
+    reason: str = ""
+    events: int = 0
+    #: True when the vector-clock closure alone refuted the trace
+    #: (no search was needed).
+    closure_rejected: bool = False
+    #: States the witness search visited (0 on closure rejections).
+    search_states: int = 0
+
+
+class _Rejected(Exception):
+    """Internal: the trace is refuted; ``args[0]`` is the reason."""
+
+
+@dataclass
+class _Event:
+    eid: int
+    thread: int
+    pos: int  # index within the thread (po position)
+    op: MemOp
+    value: Optional[int] = None  # observed (loads) / written (stores)
+    #: Fixed reads-from writer: a store eid, _INIT, or None (ambiguous).
+    rf: Optional[int] = None
+    candidates: Tuple[int, ...] = ()
+
+
+@dataclass
+class _Analysis:
+    events: List[_Event] = field(default_factory=list)
+    by_thread: List[List[_Event]] = field(default_factory=list)
+    stores_to: Dict[str, List[_Event]] = field(default_factory=dict)
+    loads: List[_Event] = field(default_factory=list)
+    initial: Dict[str, int] = field(default_factory=dict)
+    final: Dict[str, int] = field(default_factory=dict)
+    #: clocks[eid][thread] = number of that thread's events that must
+    #: happen before-or-at this event in every witness.
+    clocks: List[List[int]] = field(default_factory=list)
+    #: extra (non-po) must-happen-before edges, as adjacency sets.
+    succ: Dict[int, set] = field(default_factory=dict)
+
+
+def _build_analysis(trace: Trace) -> _Analysis:
+    ana = _Analysis()
+    load_values = dict(trace.load_values)
+    ana.final = dict(trace.final_memory)
+    addresses: List[str] = []
+    for thread in trace.threads:
+        for op in thread:
+            if op.addr is not None and op.addr not in addresses:
+                addresses.append(op.addr)
+    ana.initial = {addr: 0 for addr in addresses}
+    ana.initial.update(dict(trace.initial_memory))
+
+    for tid, thread in enumerate(trace.threads):
+        row: List[_Event] = []
+        for pos, op in enumerate(thread):
+            event = _Event(eid=len(ana.events), thread=tid, pos=pos, op=op)
+            if op.is_store:
+                event.value = op.value
+                ana.stores_to.setdefault(op.addr, []).append(event)
+            elif op.is_load:
+                if op.out not in load_values:
+                    raise ReproError(
+                        f"trace is incomplete: no observed value for "
+                        f"load register {op.out!r}"
+                    )
+                event.value = load_values[op.out]
+                ana.loads.append(event)
+            ana.events.append(event)
+            row.append(event)
+        ana.by_thread.append(row)
+
+    for addr in addresses:
+        if addr not in ana.final:
+            raise ReproError(
+                f"trace is incomplete: no final value for location {addr!r}"
+            )
+    return ana
+
+
+def _value_feasibility(ana: _Analysis) -> None:
+    """Layer 1: observed values must be producible at all (model-free)."""
+    for event in ana.loads:
+        addr, value = event.op.addr, event.value
+        candidates = [
+            s.eid for s in ana.stores_to.get(addr, []) if s.value == value
+        ]
+        if value == ana.initial[addr]:
+            candidates.append(_INIT)
+        if not candidates:
+            raise _Rejected(
+                f"load {event.op.out} observed [{addr}] = {value}, "
+                f"which no store writes and is not the initial value"
+            )
+        event.candidates = tuple(candidates)
+        if len(candidates) == 1:
+            event.rf = candidates[0]
+    for addr, final_value in ana.final.items():
+        stores = ana.stores_to.get(addr, [])
+        if stores:
+            if not any(s.value == final_value for s in stores):
+                raise _Rejected(
+                    f"final [{addr}] = {final_value} matches no store to "
+                    f"{addr} (a store was lost or corrupted)"
+                )
+        elif final_value != ana.initial[addr]:
+            raise _Rejected(
+                f"final [{addr}] = {final_value} but {addr} is never "
+                f"stored (initial value {ana.initial[addr]})"
+            )
+
+
+def _init_clocks(ana: _Analysis) -> None:
+    num_threads = len(ana.by_thread)
+    ana.clocks = [[0] * num_threads for _ in ana.events]
+    for row in ana.by_thread:
+        prev: Optional[_Event] = None
+        for event in row:
+            clock = ana.clocks[event.eid]
+            if prev is not None:
+                for t, v in enumerate(ana.clocks[prev.eid]):
+                    clock[t] = v
+            clock[event.thread] = event.pos + 1
+
+
+def _hb(ana: _Analysis, a: _Event, b: _Event) -> bool:
+    """Must ``a`` happen before ``b`` in every witness?"""
+    return ana.clocks[b.eid][a.thread] >= a.pos + 1
+
+
+def _add_edge(ana: _Analysis, a: _Event, b: _Event) -> bool:
+    """Record must-edge ``a -> b``; propagate clocks forward until they
+    settle; returns True when anything changed.  Raises
+    :class:`_Rejected` on a cycle."""
+    if a.eid == b.eid or _hb(ana, a, b):
+        return False
+    if _hb(ana, b, a):
+        raise _Rejected(
+            f"ordering cycle: {b.op} (T{b.thread}) must precede "
+            f"{a.op} (T{a.thread}) and vice versa"
+        )
+    ana.succ.setdefault(a.eid, set()).add(b.eid)
+    # Relax clocks along outgoing edges (program order + added edges);
+    # clocks only grow, so this terminates.
+    worklist = [(a.eid, b.eid)]
+    while worklist:
+        src, dst = worklist.pop()
+        src_clock = ana.clocks[src]
+        dst_clock = ana.clocks[dst]
+        changed = False
+        for t, v in enumerate(src_clock):
+            if v > dst_clock[t]:
+                dst_clock[t] = v
+                changed = True
+        if not changed:
+            continue
+        event = ana.events[dst]
+        if dst_clock[event.thread] > event.pos + 1:
+            raise _Rejected(
+                f"ordering cycle through {event.op} (T{event.thread})"
+            )
+        row = ana.by_thread[event.thread]
+        if event.pos + 1 < len(row):
+            worklist.append((dst, row[event.pos + 1].eid))
+        for nxt in ana.succ.get(dst, ()):
+            worklist.append((dst, nxt))
+    return True
+
+
+def _closure(ana: _Analysis) -> None:
+    """Layer 2 (SC): fixed-rf coherence inference to fixpoint."""
+    _init_clocks(ana)
+
+    # Seed edges: fixed reads-from, init-reading loads, unique final
+    # writers.
+    for load in ana.loads:
+        if load.rf is None:
+            continue
+        stores = ana.stores_to.get(load.op.addr, [])
+        if load.rf == _INIT:
+            # Reading the initial value: every store to the location
+            # comes after the load.
+            for s in stores:
+                _add_edge(ana, load, s)
+        else:
+            _add_edge(ana, ana.events[load.rf], load)
+    for addr, final_value in ana.final.items():
+        stores = ana.stores_to.get(addr, [])
+        finals = [s for s in stores if s.value == final_value]
+        if stores and len(finals) == 1:
+            last = finals[0]
+            for s in stores:
+                _add_edge(ana, s, last)
+
+    # Derived rules (Roy et al.): for load l with fixed writer s and
+    # same-address store s':  s' -> l  implies  s' -> s;   s -> s'
+    # implies  l -> s'.
+    changed = True
+    guard = 0
+    while changed:
+        changed = False
+        guard += 1
+        if guard > len(ana.events) ** 2 + 8:
+            break  # paranoia bound; edges are monotone so unreachable
+        for load in ana.loads:
+            if load.rf is None or load.rf == _INIT:
+                continue
+            writer = ana.events[load.rf]
+            for s2 in ana.stores_to.get(load.op.addr, []):
+                if s2.eid == writer.eid:
+                    continue
+                if _hb(ana, s2, load) and _add_edge(ana, s2, writer):
+                    changed = True
+                if _hb(ana, writer, s2) and _add_edge(ana, load, s2):
+                    changed = True
+
+
+def _search_sc(ana: _Analysis, max_states: int) -> int:
+    """Layer 3 (SC): memoized frontier search for a witness
+    interleaving.  Returns states visited; raises on no-witness or
+    budget."""
+    addr_index = {addr: i for i, addr in enumerate(sorted(ana.initial))}
+    init_mem = tuple(
+        ana.initial[addr] for addr in sorted(ana.initial)
+    )
+    final_mem = tuple(
+        ana.final[addr] for addr in sorted(ana.initial)
+    )
+    total = tuple(len(row) for row in ana.by_thread)
+    start = (tuple(0 for _ in ana.by_thread), init_mem)
+    seen = {start}
+    stack = [start]
+    while stack:
+        pcs, mem = stack.pop()
+        if pcs == total:
+            if mem == final_mem:
+                return len(seen)
+            continue
+        for tid, pc in enumerate(pcs):
+            if pc >= total[tid]:
+                continue
+            event = ana.by_thread[tid][pc]
+            # Closure prune: every must-predecessor already executed.
+            clock = ana.clocks[event.eid]
+            if any(
+                pcs[u] < clock[u] for u in range(len(pcs)) if u != tid
+            ):
+                continue
+            op = event.op
+            new_mem = mem
+            if op.is_store:
+                idx = addr_index[op.addr]
+                new_mem = mem[:idx] + (op.value,) + mem[idx + 1 :]
+            elif op.is_load:
+                if mem[addr_index[op.addr]] != event.value:
+                    continue
+            state = (pcs[:tid] + (pc + 1,) + pcs[tid + 1 :], new_mem)
+            if state not in seen:
+                if len(seen) >= max_states:
+                    raise ReproError(
+                        f"polycheck: witness search exceeded "
+                        f"{max_states} states"
+                    )
+                seen.add(state)
+                stack.append(state)
+    raise _Rejected("no SC interleaving reproduces the observed values")
+
+
+def _search_tso(ana: _Analysis, max_states: int) -> int:
+    """Layer 3 (TSO): witness search over the store-buffer machine."""
+    addrs = sorted(ana.initial)
+    addr_index = {addr: i for i, addr in enumerate(addrs)}
+    init_mem = tuple(ana.initial[addr] for addr in addrs)
+    final_mem = tuple(ana.final[addr] for addr in addrs)
+    total = tuple(len(row) for row in ana.by_thread)
+    empty = tuple(() for _ in ana.by_thread)
+    start = (tuple(0 for _ in ana.by_thread), empty, init_mem)
+    seen = {start}
+    stack = [start]
+    while stack:
+        pcs, buffers, mem = stack.pop()
+        if pcs == total and all(not b for b in buffers):
+            if mem == final_mem:
+                return len(seen)
+            continue
+        successors = []
+        for tid, pc in enumerate(pcs):
+            buffer = buffers[tid]
+            if buffer:  # drain the head
+                idx, value = buffer[0]
+                new_mem = mem[:idx] + (value,) + mem[idx + 1 :]
+                successors.append(
+                    (
+                        pcs,
+                        buffers[:tid] + (buffer[1:],) + buffers[tid + 1 :],
+                        new_mem,
+                    )
+                )
+            if pc >= total[tid]:
+                continue
+            event = ana.by_thread[tid][pc]
+            op = event.op
+            new_pcs = pcs[:tid] + (pc + 1,) + pcs[tid + 1 :]
+            if op.is_store:
+                entry = (addr_index[op.addr], op.value)
+                successors.append(
+                    (
+                        new_pcs,
+                        buffers[:tid] + (buffer + (entry,),) + buffers[tid + 1 :],
+                        mem,
+                    )
+                )
+            elif op.is_fence:
+                if not buffer:
+                    successors.append((new_pcs, buffers, mem))
+            else:
+                idx = addr_index[op.addr]
+                value = mem[idx]
+                for buf_idx, buf_value in buffer:  # youngest wins
+                    if buf_idx == idx:
+                        value = buf_value
+                if value == event.value:
+                    successors.append((new_pcs, buffers, mem))
+        for state in successors:
+            if state not in seen:
+                if len(seen) >= max_states:
+                    raise ReproError(
+                        f"polycheck: witness search exceeded "
+                        f"{max_states} states"
+                    )
+                seen.add(state)
+                stack.append(state)
+    raise _Rejected(
+        "no TSO store-buffer execution reproduces the observed values"
+    )
+
+
+def check_trace(
+    trace: Trace,
+    model: str = "sc",
+    max_states: int = DEFAULT_POLYCHECK_STATES,
+) -> TraceVerdict:
+    """Decide whether ``trace`` is an execution the ``model`` allows.
+
+    Exact on its answer: ``conformant=True`` iff the trace's outcome is
+    a member of the model's enumerated outcome set for the same program
+    (property-tested in ``tests/test_polycheck.py``).  Raises
+    :class:`ReproError` for malformed traces or a tripped search
+    budget — never for a mere non-conformance, which is a verdict.
+    """
+    if model not in ("sc", "tso"):
+        raise ReproError(f"unknown model {model!r}; choose 'sc' or 'tso'")
+    ana = _build_analysis(trace)
+    verdict = TraceVerdict(
+        conformant=True, model=model, events=len(ana.events)
+    )
+    recorder = obs.get_recorder()
+    if recorder.enabled:
+        recorder.count("polycheck.traces", 1)
+        recorder.count("polycheck.events", len(ana.events))
+    try:
+        _value_feasibility(ana)
+        if model == "sc":
+            _closure(ana)
+            verdict.search_states = _search_sc(ana, max_states)
+        else:
+            _init_clocks(ana)  # clocks unused for pruning, kept for stats
+            verdict.search_states = _search_tso(ana, max_states)
+    except _Rejected as rejected:
+        verdict.conformant = False
+        verdict.reason = str(rejected)
+        verdict.closure_rejected = verdict.search_states == 0
+    return verdict

@@ -62,10 +62,14 @@ class DxView:
 class VScaleCore:
     """Architectural + pipeline state of one core."""
 
-    def __init__(self, core_id: int, imem: List[int]):
+    def __init__(
+        self, core_id: int, imem: List[int], base_pc: Optional[int] = None
+    ):
         self.core_id = core_id
         self.imem = list(imem)
-        self.base_pc = core_base_pc(core_id)
+        # Classic geometry by default; extended-geometry compiles
+        # (difftest long programs) pass their own reset PC.
+        self.base_pc = core_base_pc(core_id) if base_pc is None else base_pc
         self.reset()
 
     def reset(self, reg_init: Optional[Dict[int, int]] = None) -> None:

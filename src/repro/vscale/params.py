@@ -6,13 +6,14 @@ read-only instruction words follow, and litmus data words sit above
 (:data:`repro.litmus.test.DATA_BASE_WORD`).
 """
 
-from repro.litmus.test import DATA_BASE_WORD, DATA_MEM_WORDS
+from repro.litmus.test import (  # noqa: F401  (re-exported)
+    DATA_BASE_WORD,
+    DATA_MEM_WORDS,
+    IMEM_WORDS_PER_CORE,
+)
 
 #: Cores instantiated in the Multi-V-scale SoC (paper Figure 1).
 NUM_CORES = 4
-
-#: Instruction words reserved per core (program + halt must fit).
-IMEM_WORDS_PER_CORE = 8
 
 #: dmem_type encodings used in pipeline registers and trace frames.
 DMEM_NONE = 0
@@ -21,12 +22,17 @@ DMEM_STORE = 2
 
 
 def imem_base_word(core: int) -> int:
-    """First instruction-memory word of ``core``."""
+    """First instruction-memory word of ``core`` (classic geometry).
+
+    Long-program compiles use an extended per-test geometry; query
+    :meth:`repro.litmus.test.CompiledTest.imem_base_word` when a
+    compiled test is in hand.
+    """
     return 1 + IMEM_WORDS_PER_CORE * core
 
 
 def core_base_pc(core: int) -> int:
-    """Reset PC of ``core``."""
+    """Reset PC of ``core`` (classic geometry; see :func:`imem_base_word`)."""
     return 4 * imem_base_word(core)
 
 

@@ -18,12 +18,7 @@ from repro.rtl.design import Design, Frame, FreeInput, SlotLayout
 from repro.vscale.arbiter import Arbiter
 from repro.vscale.core import VScaleCore
 from repro.vscale.memory import BuggyMemory, FixedMemory, MemoryBase
-from repro.vscale.params import (
-    DMEM_LOAD,
-    DMEM_STORE,
-    IMEM_WORDS_PER_CORE,
-    NUM_CORES,
-)
+from repro.vscale.params import DMEM_LOAD, DMEM_STORE, NUM_CORES
 
 
 class MultiVScale(Design):
@@ -52,10 +47,12 @@ class MultiVScale(Design):
         self.memory_variant = memory_variant
         self.cores: List[VScaleCore] = []
         for core_id, program in enumerate(compiled.programs):
-            if len(program) > IMEM_WORDS_PER_CORE:
+            if len(program) > compiled.imem_words_per_core:
                 raise RtlError(f"core {core_id}: program too long for imem")
             imem = [encode(instr) for instr in program]
-            self.cores.append(VScaleCore(core_id, imem))
+            self.cores.append(
+                VScaleCore(core_id, imem, base_pc=compiled.core_base_pc(core_id))
+            )
         self.arbiter = Arbiter(NUM_CORES)
         if memory_variant == "buggy":
             self.memory: MemoryBase = BuggyMemory(compiled.initial_data_memory)

@@ -42,13 +42,7 @@ from repro.litmus.test import CompiledTest
 from repro.rtl.design import Design, Frame, FreeInput
 from repro.vscale.arbiter import Arbiter
 from repro.vscale.core import VScaleCore
-from repro.vscale.params import (
-    DMEM_LOAD,
-    DMEM_NONE,
-    DMEM_STORE,
-    IMEM_WORDS_PER_CORE,
-    NUM_CORES,
-)
+from repro.vscale.params import DMEM_LOAD, DMEM_NONE, DMEM_STORE, NUM_CORES
 
 #: Store-buffer capacity per core.
 STORE_BUFFER_CAPACITY = 2
@@ -80,9 +74,15 @@ class MultiVScaleTSO(Design):
         self.compiled = compiled
         self.cores: List[VScaleCore] = []
         for core_id, program in enumerate(compiled.programs):
-            if len(program) > IMEM_WORDS_PER_CORE:
+            if len(program) > compiled.imem_words_per_core:
                 raise RtlError(f"core {core_id}: program too long for imem")
-            self.cores.append(VScaleCore(core_id, [encode(i) for i in program]))
+            self.cores.append(
+                VScaleCore(
+                    core_id,
+                    [encode(i) for i in program],
+                    base_pc=compiled.core_base_pc(core_id),
+                )
+            )
         self.arbiter = Arbiter(NUM_CORES)
         self.data_words = sorted(compiled.initial_data_memory)
         self.reset()

@@ -457,11 +457,14 @@ class TestOracleTier:
         test = get_test("mp")
         cold = evaluate_oracles(test, "fixed", cache=cache)
         warm = evaluate_oracles(test, "fixed", cache=cache)
-        assert cache.stats.get("cache.oracle.hits") == 3
+        # operational + axiomatic + rtl + trace (the verifier layer is
+        # cached through the verdict tier, not the oracle tier).
+        assert cache.stats.get("cache.oracle.hits") == 4
         assert warm.op_outcomes == cold.op_outcomes
         assert warm.ax_outcomes == cold.ax_outcomes
         assert warm.rtl.outcomes == cold.rtl.outcomes
         assert warm.rtl.states == cold.rtl.states
+        assert warm.trace_checks == cold.trace_checks
         assert warm.to_dict() == cold.to_dict()
 
     def test_design_independent_layers_shared_across_variants(self, tmp_path):

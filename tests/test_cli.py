@@ -194,7 +194,11 @@ class TestFuzzCommand:
         assert args.memory == "fixed"
         assert args.jobs == 1
         assert not args.no_shrink
-        assert args.oracles == ["operational", "axiomatic", "rtl", "verifier"]
+        assert args.oracles == [
+            "operational", "axiomatic", "rtl", "verifier", "trace",
+        ]
+        assert not args.long_programs
+        assert args.trace_samples is None
 
     def test_fuzz_parser_flags(self):
         args = build_parser().parse_args(

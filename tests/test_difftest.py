@@ -333,3 +333,269 @@ class TestReportsAndReproducers:
             document["discrepancy"]["kind"], document["memory_variant"]
         )
         assert predicate(replayed)
+
+
+class TestOracleErrorContract:
+    """Regression: a ReproError from *any* layer — operational and
+    axiomatic included — must land in ``verdicts.errors`` instead of
+    aborting the evaluation (the documented contract; the first two
+    layers used to leak)."""
+
+    def test_operational_error_is_recorded_not_raised(self, monkeypatch):
+        def boom(test):
+            raise ReproError(f"{test.name}: injected operational failure")
+
+        monkeypatch.setattr(
+            "repro.difftest.oracles.operational_verdicts", boom
+        )
+        verdicts = evaluate_oracles(MP, oracles=("operational", "axiomatic"))
+        assert "injected operational" in verdicts.errors["operational"]
+        assert verdicts.op_outcomes is None
+        # The healthy layer still answered, and comparisons involving
+        # the broken one are skipped rather than crashed.
+        assert verdicts.ax_outcomes is not None
+        assert cross_check(verdicts) == []
+
+    def test_axiomatic_error_is_recorded_not_raised(self, monkeypatch):
+        def boom(test):
+            raise ReproError(f"{test.name}: injected axiomatic failure")
+
+        monkeypatch.setattr("repro.difftest.oracles.axiomatic_verdicts", boom)
+        verdicts = evaluate_oracles(MP, oracles=("operational", "axiomatic"))
+        assert "injected axiomatic" in verdicts.errors["axiomatic"]
+        assert verdicts.ax_outcomes is None
+        assert verdicts.op_outcomes is not None
+
+    def test_oracle_error_reaches_campaign_report(self, monkeypatch):
+        def boom(test):
+            raise ReproError(f"{test.name}: injected axiomatic failure")
+
+        monkeypatch.setattr("repro.difftest.oracles.axiomatic_verdicts", boom)
+        result = run_fuzz(
+            FuzzConfig(
+                seed=11,
+                budget=2,
+                oracles=("operational", "axiomatic"),
+                shrink=False,
+            )
+        )
+        # The campaign completes, names the oracle per test, and still
+        # produces a valid report.
+        assert result.tests_run == 2
+        assert len(result.oracle_errors) == 2
+        for entry in result.oracle_errors:
+            assert entry["oracle"] == "axiomatic"
+            assert "injected" in entry["error"]
+        assert validate_fuzz_report(result.report()) == []
+
+    def test_malformed_test_still_raises(self):
+        bad = LitmusTest(
+            name="raw-bad",
+            threads=((load("x", "r1"), load("y", "r1")),),
+            outcome=Outcome.of({}),
+        )
+        with pytest.raises(ReproError):
+            evaluate_oracles(bad, oracles=("operational",))
+
+
+class TestCanonicalizationFixes:
+    """Regression: `_canonicalize` used to crash past 12 addresses
+    (IndexError) and silently split a reused load register into two;
+    `shrink_test` used to ship canonicalized tests unchecked."""
+
+    def test_many_addresses_get_derived_names(self):
+        addrs = [f"loc{i}" for i in range(13)]
+        test = LitmusTest.of(
+            "wide",
+            [[store(a, 1) for a in addrs]],
+            Outcome.of({}, {addrs[-1]: 1}),
+        )
+        canon = _canonicalize(test, "wide-min")
+        assert canon.addresses[:4] == ["x", "y", "z", "w"]
+        assert canon.addresses[-1] == "v12"
+        assert canon.outcome.final_memory_map == {"v12": 1}
+
+    def test_duplicate_register_is_not_split(self):
+        # Only constructible via the raw constructor (validation forbids
+        # it); the stable map must collapse both uses onto one canonical
+        # name, which the rebuild then rejects — never silently rename
+        # them apart, which changes the outcome set.
+        raw = LitmusTest(
+            name="dup",
+            threads=((load("x", "r7"), load("y", "r7")),),
+            outcome=Outcome.of({}),
+        )
+        with pytest.raises(LitmusError, match="duplicate"):
+            _canonicalize(raw, "dup-min")
+
+    def test_shrink_falls_back_when_canonicalization_stops_reproducing(self):
+        # A predicate sensitive to the concrete register name: renaming
+        # r7 -> r1 breaks it, so the shipped reproducer must keep r7.
+        test = LitmusTest.of(
+            "odd2",
+            [[store("q", 1)], [load("q", "r7")]],
+            Outcome.of({"r7": 1}),
+        )
+
+        def predicate(candidate):
+            return "r7" in candidate.outcome.register_map
+
+        minimized, stats = shrink_test(test, predicate)
+        assert stats["canonicalization_dropped"] is True
+        assert minimized.name == "odd2-min"
+        assert "r7" in minimized.outcome.register_map
+        assert predicate(minimized)
+
+    def test_canonicalization_kept_when_it_reproduces(self):
+        predicate = discrepancy_predicate("rtl-vs-model", "buggy")
+        minimized, stats = shrink_test(MP, predicate)
+        assert stats["canonicalization_dropped"] is False
+        assert minimized.addresses == ["x"]
+
+
+class TestWorkerCrashContainment:
+    """Regression: a non-ReproError escape from a pool worker used to
+    propagate out of ``future.result()`` and kill the whole campaign."""
+
+    def _crashing_campaign(self, monkeypatch, jobs, cache_dir=None):
+        from repro.difftest.runner import CRASH_TEST_ENV
+
+        config = FuzzConfig(
+            seed=11,
+            budget=3,
+            oracles=("operational", "axiomatic"),
+            jobs=jobs,
+            shrink=False,
+            cache_dir=cache_dir,
+        )
+        victim = FuzzGenerator(11).suite(3)[1].name
+        monkeypatch.setenv(CRASH_TEST_ENV, victim)
+        return run_fuzz(config), victim
+
+    def _assert_contained(self, result, victim):
+        assert result.tests_run == 3
+        crashed = [e for e in result.oracle_errors if e.get("crashed")]
+        assert len(crashed) == 1
+        assert crashed[0]["test"] == victim
+        assert "worker crashed" in crashed[0]["error"]
+        assert result.skipped["worker_crashed"] == 1
+        # The other two tests were evaluated normally.
+        assert len(result.verdicts) == 2
+        assert validate_fuzz_report(result.report()) == []
+
+    def test_crash_contained_sequentially(self, monkeypatch):
+        result, victim = self._crashing_campaign(monkeypatch, jobs=1)
+        self._assert_contained(result, victim)
+
+    def test_crash_contained_in_pool(self, monkeypatch):
+        result, victim = self._crashing_campaign(monkeypatch, jobs=2)
+        self._assert_contained(result, victim)
+
+    def test_crashed_test_is_retried_on_resume(self, monkeypatch, tmp_path):
+        result, victim = self._crashing_campaign(
+            monkeypatch, jobs=1, cache_dir=str(tmp_path)
+        )
+        self._assert_contained(result, victim)
+        # The crashed index was NOT checkpointed as done: a resumed run
+        # (crash hook cleared) retries exactly that test and comes back
+        # clean.
+        from repro.difftest.runner import CRASH_TEST_ENV
+
+        monkeypatch.delenv(CRASH_TEST_ENV)
+        resumed = run_fuzz(
+            FuzzConfig(
+                seed=11,
+                budget=3,
+                oracles=("operational", "axiomatic"),
+                shrink=False,
+                cache_dir=str(tmp_path),
+            )
+        )
+        assert resumed.resumed == 2
+        assert resumed.oracle_errors == []
+        assert len(resumed.verdicts) == 3
+
+
+class TestTraceOracle:
+    def test_fixed_memory_trace_layer_is_clean(self):
+        verdicts = evaluate_oracles(
+            MP, "fixed", oracles=("trace",), trace_samples=6
+        )
+        assert verdicts.errors == {}
+        assert verdicts.trace_checks
+        assert all(c.conformant for c in verdicts.trace_checks)
+        assert cross_check(verdicts) == []
+
+    def test_buggy_memory_flagged_by_trace_vs_sc(self):
+        verdicts = evaluate_oracles(
+            MP, "buggy", oracles=("trace",), trace_samples=8
+        )
+        kinds = [d.kind for d in cross_check(verdicts)]
+        assert "trace-vs-sc" in kinds
+
+    def test_trace_agrees_with_enumeration_when_both_run(self):
+        verdicts = evaluate_oracles(
+            MP, "fixed", oracles=("operational", "trace"), trace_samples=8
+        )
+        kinds = [d.kind for d in cross_check(verdicts)]
+        assert "trace-vs-enumeration" not in kinds
+        for check in verdicts.trace_checks:
+            assert check.outcome in verdicts.op_outcomes
+
+    def test_trace_discrepancy_shrinks(self):
+        predicate = discrepancy_predicate(
+            "trace-vs-sc", "buggy", trace_samples=6
+        )
+        minimized, stats = shrink_test(MP, predicate)
+        assert predicate(minimized)
+        assert minimized.instruction_count() <= MP.instruction_count()
+
+
+class TestLongProgramMode:
+    def test_long_programs_require_trace_oracle(self):
+        with pytest.raises(ReproError, match="trace"):
+            FuzzConfig(long_programs=True, oracles=("operational", "rtl"))
+
+    def test_generator_emits_long_tests(self):
+        tests = FuzzGenerator(7, long_programs=True).suite(10)
+        long = [t for t in tests if t.instruction_count() > _TOTAL_OPS_CAP]
+        assert long
+        for test in long:
+            assert max(len(t) for t in test.threads) >= 8
+            assert test.outcome.register_map == {}
+            # Unique store values per location (the polynomial case).
+            for addr in test.addresses:
+                values = [
+                    op.value
+                    for t in test.threads
+                    for op in t
+                    if op.is_store and op.addr == addr
+                ]
+                assert len(values) == len(set(values))
+
+    def test_long_campaign_routes_to_trace_only(self):
+        result = run_fuzz(
+            FuzzConfig(
+                seed=7,
+                budget=6,
+                oracles=("operational", "axiomatic", "trace"),
+                long_programs=True,
+                trace_samples=4,
+                shrink=False,
+            )
+        )
+        assert result.tests_run == 6
+        assert result.skipped.get("long_program", 0) >= 1
+        assert result.discrepancies == []
+        assert result.oracle_errors == []
+        long_names = [
+            t.name
+            for t in FuzzGenerator(7, long_programs=True).suite(6)
+            if t.instruction_count() > _TOTAL_OPS_CAP
+        ]
+        for name in long_names:
+            summary = result.verdicts[name]
+            assert summary["operational"] is None
+            assert summary["trace"] is not None
+            assert summary["trace"]["nonconformant"] == 0
+        assert validate_fuzz_report(result.report()) == []

@@ -1,0 +1,269 @@
+"""Per-execution consistency checking (`repro.memodel.polycheck`) and
+the RTL trace-harvesting layer that feeds it.
+
+Ground truth throughout is the exhaustive enumeration oracles: a trace
+is SC/TSO-conformant iff its architectural outcome is a member of the
+corresponding enumerated outcome set for the same program.  The suite-
+and fuzz-batch agreement tests check both directions (members accepted,
+mutated non-members rejected), so polycheck has no room for false
+positives or false negatives relative to the oracles it rides along.
+"""
+
+import random
+
+import pytest
+
+from repro import get_test, paper_suite
+from repro.errors import ReproError
+from repro.litmus.test import LitmusTest, Outcome, fence, load, store
+from repro.memodel import (
+    Trace,
+    check_trace,
+    enumerate_sc_outcomes,
+    enumerate_tso_outcomes,
+)
+from repro.vscale.trace import harvest_traces
+
+
+def _trace(threads, load_values, final_memory, initial=None):
+    return Trace.of(threads, load_values, final_memory, initial)
+
+
+# ---------------------------------------------------------------------------
+# layer 1: value feasibility
+# ---------------------------------------------------------------------------
+
+
+class TestValueFeasibility:
+    def test_dropped_store_rejected(self):
+        # The §7.1 V-scale bug in miniature: one store, but memory still
+        # holds the initial value.  No model check needed.
+        verdict = check_trace(_trace([[store("x", 1)]], {}, {"x": 0}))
+        assert not verdict.conformant
+        assert verdict.closure_rejected
+        assert verdict.search_states == 0
+        assert "store was lost" in verdict.reason
+
+    def test_load_of_unwritten_value_rejected(self):
+        trace = _trace(
+            [[store("x", 1)], [load("x", "r1")]], {"r1": 7}, {"x": 1}
+        )
+        verdict = check_trace(trace)
+        assert not verdict.conformant
+        assert "no store writes" in verdict.reason
+
+    def test_initial_value_is_always_readable(self):
+        trace = _trace([[load("x", "r1")]], {"r1": 0}, {"x": 0})
+        assert check_trace(trace).conformant
+
+    def test_nonzero_initial_memory_respected(self):
+        trace = _trace(
+            [[load("x", "r1")]], {"r1": 5}, {"x": 5}, initial={"x": 5}
+        )
+        assert check_trace(trace).conformant
+        # ...and the default-initial version of the same trace fails.
+        assert not check_trace(
+            _trace([[load("x", "r1")]], {"r1": 5}, {"x": 5})
+        ).conformant
+
+    def test_unstored_location_must_keep_initial_value(self):
+        trace = _trace([[load("x", "r1")]], {"r1": 0}, {"x": 3})
+        verdict = check_trace(trace)
+        assert not verdict.conformant
+        assert "never" in verdict.reason
+
+
+class TestMalformedTraces:
+    def test_missing_load_value_raises(self):
+        with pytest.raises(ReproError, match="r1"):
+            check_trace(_trace([[load("x", "r1")]], {}, {"x": 0}))
+
+    def test_missing_final_memory_raises(self):
+        with pytest.raises(ReproError, match="final value"):
+            check_trace(_trace([[store("x", 1)]], {}, {}))
+
+    def test_unknown_model_raises(self):
+        trace = _trace([[store("x", 1)]], {}, {"x": 1})
+        with pytest.raises(ReproError, match="psc"):
+            check_trace(trace, model="psc")
+
+    def test_budget_trip_raises_not_rejects(self):
+        # mp's conformant trace needs a real search; a 1-state budget
+        # must surface as an error, never as a non-conformance verdict.
+        mp = get_test("mp")
+        trace = Trace.of(
+            mp.threads, {"r1": 1, "r2": 1}, {"x": 1, "y": 1}
+        )
+        with pytest.raises(ReproError, match="exceeded"):
+            check_trace(trace, max_states=1)
+
+
+# ---------------------------------------------------------------------------
+# SC vs TSO separation on the classic shapes
+# ---------------------------------------------------------------------------
+
+
+def _sb_threads():
+    return [
+        [store("x", 1), load("y", "r1")],
+        [store("y", 1), load("x", "r2")],
+    ]
+
+
+class TestModelSeparation:
+    def test_sb_both_zero_is_tso_but_not_sc(self):
+        trace = _trace(
+            _sb_threads(), {"r1": 0, "r2": 0}, {"x": 1, "y": 1}
+        )
+        assert not check_trace(trace, "sc").conformant
+        assert check_trace(trace, "tso").conformant
+
+    def test_fenced_sb_both_zero_is_not_tso_either(self):
+        threads = [
+            [store("x", 1), fence(), load("y", "r1")],
+            [store("y", 1), fence(), load("x", "r2")],
+        ]
+        trace = _trace(threads, {"r1": 0, "r2": 0}, {"x": 1, "y": 1})
+        assert not check_trace(trace, "tso").conformant
+
+    def test_mp_forbidden_outcome_rejected_by_closure_or_search(self):
+        mp = get_test("mp")
+        trace = Trace.of(mp.threads, {"r1": 1, "r2": 0}, {"x": 1, "y": 1})
+        verdict = check_trace(trace, "sc")
+        assert not verdict.conformant
+
+    def test_mp_allowed_outcome_accepted_with_witness(self):
+        mp = get_test("mp")
+        trace = Trace.of(mp.threads, {"r1": 1, "r2": 1}, {"x": 1, "y": 1})
+        verdict = check_trace(trace, "sc")
+        assert verdict.conformant
+        assert verdict.search_states > 0
+        assert verdict.events == mp.instruction_count()
+
+
+# ---------------------------------------------------------------------------
+# agreement with the exhaustive oracles (the soundness/completeness
+# property the trace-vs-enumeration invariant depends on)
+# ---------------------------------------------------------------------------
+
+
+def _mutants(test, outcomes, rng, per_outcome=2):
+    """Perturb enumerated outcomes into nearby (usually non-member)
+    candidates; membership is re-derived, so mutants that happen to stay
+    members still test agreement."""
+    pool = sorted(
+        {0}
+        | {op.value for t in test.threads for op in t if op.is_store}
+        | {3}
+    )
+    mutated = []
+    for regs, mem in outcomes:
+        for _ in range(per_outcome):
+            new_regs, new_mem = dict(regs), dict(mem)
+            cells = [("r", k) for k in new_regs] + [("m", k) for k in new_mem]
+            if not cells:
+                continue
+            kind, key = rng.choice(cells)
+            target = new_regs if kind == "r" else new_mem
+            target[key] = rng.choice([v for v in pool if v != target[key]])
+            mutated.append(
+                (tuple(sorted(new_regs.items())), tuple(sorted(new_mem.items())))
+            )
+    return mutated
+
+
+def _assert_agreement(test, model, enumerated):
+    candidates = set(enumerated)
+    rng = random.Random(f"polycheck-mutants:{test.name}:{model}")
+    candidates.update(_mutants(test, enumerated, rng))
+    for outcome in sorted(candidates):
+        trace = Trace.from_outcome(test, outcome)
+        verdict = check_trace(trace, model)
+        member = outcome in enumerated
+        assert verdict.conformant == member, (
+            f"{test.name} [{model}]: polycheck said "
+            f"conformant={verdict.conformant} but enumeration membership "
+            f"is {member} for {outcome} ({verdict.reason})"
+        )
+
+
+class TestEnumerationAgreement:
+    @pytest.mark.parametrize(
+        "test", paper_suite(), ids=lambda t: t.name
+    )
+    def test_suite_agreement_sc(self, test):
+        _assert_agreement(test, "sc", enumerate_sc_outcomes(test))
+
+    @pytest.mark.parametrize(
+        "test", paper_suite(), ids=lambda t: t.name
+    )
+    def test_suite_agreement_tso(self, test):
+        _assert_agreement(test, "tso", enumerate_tso_outcomes(test))
+
+    def test_fuzz_batch_agreement_both_models(self):
+        from repro.difftest.generate import FuzzGenerator
+
+        for test in FuzzGenerator(3).suite(30):
+            _assert_agreement(test, "sc", enumerate_sc_outcomes(test))
+            _assert_agreement(test, "tso", enumerate_tso_outcomes(test))
+
+
+# ---------------------------------------------------------------------------
+# RTL trace harvesting
+# ---------------------------------------------------------------------------
+
+
+class TestHarvesting:
+    def test_fixed_memory_traces_are_sc_members(self):
+        mp = get_test("mp")
+        sc = enumerate_sc_outcomes(mp)
+        harvest = harvest_traces(mp, "fixed", samples=8, seed=1)
+        assert harvest.traces
+        assert harvest.undrained == 0
+        for trace in harvest.traces:
+            assert check_trace(trace, "sc").conformant
+            assert trace.outcome in sc
+
+    def test_buggy_memory_yields_nonconformant_traces(self):
+        # The store-dropping bug shows up in sampled executions, and
+        # polycheck flags each one — no enumeration anywhere.
+        mp = get_test("mp")
+        harvest = harvest_traces(mp, "buggy", samples=8, seed=0)
+        verdicts = [check_trace(t, "sc") for t in harvest.traces]
+        assert any(not v.conformant for v in verdicts)
+
+    def test_harvest_is_deterministic_in_seed(self):
+        sb = get_test("sb")
+        a = harvest_traces(sb, "fixed", samples=6, seed=4)
+        b = harvest_traces(sb, "fixed", samples=6, seed=4)
+        assert a.traces == b.traces
+        assert (a.sampled, a.undrained, a.cycles) == (
+            b.sampled,
+            b.undrained,
+            b.cycles,
+        )
+
+    def test_traces_are_deduplicated(self):
+        sb = get_test("sb")
+        harvest = harvest_traces(sb, "fixed", samples=8, seed=2)
+        assert len(harvest.traces) == len(set(harvest.traces))
+        assert len(harvest.traces) <= harvest.sampled
+
+    def test_long_program_harvest_stays_polynomial(self):
+        # 16 ops/thread with unique store values: the closure pins the
+        # coherence order, so the witness search visits only a handful
+        # of states even though enumeration would be astronomically big.
+        threads = [
+            [store("x", i + 1) for i in range(8)]
+            + [load("y", f"r{i}") for i in range(8)],
+            [store("y", i + 1) for i in range(8)]
+            + [load("x", f"r{i + 8}") for i in range(8)],
+        ]
+        test = LitmusTest.of("long16", threads, Outcome.of({}))
+        harvest = harvest_traces(test, "fixed", samples=4, seed=0)
+        assert harvest.undrained == 0
+        assert harvest.traces
+        for trace in harvest.traces:
+            verdict = check_trace(trace, "sc")
+            assert verdict.conformant
+            assert verdict.search_states < 1000

@@ -53,6 +53,9 @@ REACHGRAPH_VARIANTS = ("fixed", "buggy")
 SIMULATION_TESTS = ("mp", "iwp24")
 SIMULATION_SCHEDULES = 600
 DIFFTEST_TESTS = ("mp", "sb", "iwp24", "iriw", "amd3")
+POLYCHECK_TESTS = ("mp", "sb", "iriw")
+POLYCHECK_SAMPLES = 8
+POLYCHECK_LONG_THREAD_OPS = 16
 
 
 def _calibration_workload() -> int:
@@ -125,10 +128,36 @@ def _bench_difftest() -> None:
         )
 
 
+def _polycheck_long_test():
+    """Deterministic 16-ops-per-thread program (trace-oracle-only
+    territory: the exhaustive layers cannot touch it)."""
+    from repro.litmus.test import LitmusTest, Outcome, load, store
+
+    threads = [
+        [store("x", i + 1) for i in range(8)]
+        + [load("y", f"r{i}") for i in range(8)],
+        [store("y", i + 1) for i in range(8)]
+        + [load("x", f"r{i + 8}") for i in range(8)],
+    ]
+    return LitmusTest.of("bench-long16", threads, Outcome.of({}))
+
+
+def _bench_polycheck() -> None:
+    """Trace-oracle sweep: seeded RTL harvest + per-execution polycheck
+    on the classic shapes plus one long program."""
+    from repro import get_test
+    from repro.difftest.oracles import trace_verdicts
+
+    for name in POLYCHECK_TESTS:
+        trace_verdicts(get_test(name), "fixed", samples=POLYCHECK_SAMPLES)
+    trace_verdicts(_polycheck_long_test(), "fixed", samples=POLYCHECK_SAMPLES)
+
+
 METRICS: Dict[str, Callable[[], None]] = {
     "reachgraph_build": _bench_reachgraph,
     "simulation": _bench_simulation,
     "difftest": _bench_difftest,
+    "polycheck": _bench_polycheck,
 }
 
 
