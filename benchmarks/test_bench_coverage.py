@@ -1,0 +1,120 @@
+"""Benchmark: coverage-guided fuzzing vs blind, and collection cost.
+
+Two acceptance bars for the microarchitectural coverage subsystem:
+
+* **guidance pays**: with equal seed and budget on the Multi-V-scale
+  verifier oracle, the coverage-guided scheduler reaches at least 25%
+  more unique reach-graph transitions than the blind ``(seed, index)``
+  stream — the corpus-mutation loop must actually buy exploration, not
+  just reshuffle it;
+* **collection is cheap**: verifying the mp/sb/lb subset with coverage
+  maps on stays within 3% of the plain run (the graph walk is one pass
+  per test and signatures hash packed slot vectors, both linear in
+  state count).
+
+Min-of-repeats strips scheduler noise on the overhead side; the A/B
+side is deterministic in ``(seed, budget)`` by construction.
+"""
+
+import time
+
+from conftest import save_table
+
+from repro import RTLCheck, get_test
+from repro.difftest import FuzzConfig, run_fuzz
+from repro.obs.coverage import CoverageMap
+
+GUIDED_GAIN_FLOOR = 1.25
+OVERHEAD_CEILING = 0.03
+SEED = 0
+BUDGET = 24
+SUBSET = ("mp", "sb", "lb")
+REPEATS = 3
+
+
+def _campaign(guided: bool):
+    result = run_fuzz(
+        FuzzConfig(
+            seed=SEED,
+            budget=BUDGET,
+            oracles=("verifier",),
+            shrink=False,
+            coverage=True,
+            guided=guided,
+            jobs=4,
+        )
+    )
+    return CoverageMap.from_state(result.coverage)
+
+
+def test_guided_beats_blind(results_dir):
+    blind = _campaign(guided=False)
+    guided = _campaign(guided=True)
+    ratio = guided.unique("transition") / blind.unique("transition")
+
+    lines = [
+        f"Coverage-guided vs blind fuzzing: seed={SEED} budget={BUDGET}, "
+        f"verifier oracle, Multi-V-scale fixed memory",
+        "",
+        f"{'scheduler':10s} {'states':>8s} {'transitions':>12s} "
+        f"{'total unique':>13s}",
+    ]
+    for name, cov in (("blind", blind), ("guided", guided)):
+        lines.append(
+            f"{name:10s} {cov.unique('state'):>8d} "
+            f"{cov.unique('transition'):>12d} {cov.total_unique():>13d}"
+        )
+    lines += [
+        "",
+        f"transition gain: {ratio:.2f}x (floor: {GUIDED_GAIN_FLOOR:.2f}x)",
+        "",
+        "Equal budget and seed; the guided run spends corpus energy",
+        "mutating tests whose runs discovered novel reach-graph keys,",
+        "so the extra transitions are bought by scheduling alone.",
+    ]
+    save_table(results_dir, "coverage.txt", "\n".join(lines) + "\n")
+
+    assert ratio >= GUIDED_GAIN_FLOOR, (
+        f"guided/blind transition ratio {ratio:.2f} below "
+        f"{GUIDED_GAIN_FLOOR:.2f} "
+        f"({guided.unique('transition')} vs {blind.unique('transition')})"
+    )
+
+
+def _best_wall(coverage: bool, tests) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        rtlcheck = RTLCheck(coverage=coverage)
+        start = time.perf_counter()
+        rtlcheck.verify_suite(tests, memory_variant="fixed")
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_coverage_overhead(results_dir):
+    tests = [get_test(name) for name in SUBSET]
+    _best_wall(False, tests)  # warm caches before either measurement
+    plain_seconds = _best_wall(False, tests)
+    covered_seconds = _best_wall(True, tests)
+    overhead = (covered_seconds - plain_seconds) / plain_seconds
+
+    lines = [
+        f"Coverage collection overhead: {len(SUBSET)}-test subset "
+        f"({', '.join(SUBSET)}), best of {REPEATS}",
+        "",
+        f"{'collection':12s} {'wall':>9s}",
+        f"{'off':12s} {plain_seconds:>8.3f}s",
+        f"{'on':12s} {covered_seconds:>8.3f}s",
+        "",
+        f"overhead: {overhead:+.1%} (ceiling: {OVERHEAD_CEILING:.0%})",
+        "",
+        "Collection rides the existing per-test flush point: one walk",
+        "over the shared reach graph, hashing packed slot vectors, plus",
+        "constant-size shape/assumption keys.",
+    ]
+    save_table(results_dir, "coverage_overhead.txt", "\n".join(lines) + "\n")
+
+    assert overhead < OVERHEAD_CEILING, (
+        f"coverage overhead {overhead:.1%} exceeds {OVERHEAD_CEILING:.0%} "
+        f"({covered_seconds:.3f}s vs {plain_seconds:.3f}s)"
+    )

@@ -30,12 +30,23 @@ Commands
     entry counts and sizes (``stats``), size-bounded LRU eviction
     (``gc --max-bytes N``), or full removal (``clear``).  See
     ``docs/caching.md``.
+``coverage {report,diff,merge}``
+    Inspect the persistent microarchitectural coverage database:
+    closure report over every merged campaign (``report``), key-set
+    diff of two coverage documents (``diff``), and offline merge of
+    databases/reports (``merge``).  See ``docs/observability.md``.
 
 Observability (``verify`` and ``suite``): ``--report FILE`` writes a
 schema-versioned JSON run report (the machine-readable Figures 13/14;
 written even when counterexamples make the command exit non-zero),
 ``--trace FILE`` writes a Chrome trace-event file loadable in
-Perfetto, and ``--metrics`` prints the merged observability counters.
+Perfetto, and ``--metrics`` prints the merged observability counters
+and gauges.  ``--coverage`` additionally collects microarchitectural
+coverage maps (reach-graph states/transitions, assumption firings,
+litmus shapes; arbiter grant interleavings under ``fuzz``), prints the
+closure summary, and — with ``--coverage-report FILE`` — writes the
+JSON closure report.  ``fuzz --guided`` turns the coverage signal into
+feedback: novel tests seed an energy-weighted mutation corpus.
 See ``docs/observability.md``.
 
 Caching (``verify``, ``suite``, ``fuzz``): verification artifacts are
@@ -123,9 +134,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics",
         action="store_true",
-        help="print the merged observability counters",
+        help="print the merged observability counters and gauges",
     )
+    _add_coverage_flags(parser)
     _add_cache_flags(parser)
+
+
+def _add_coverage_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--coverage",
+        action="store_true",
+        help="collect microarchitectural coverage maps and print the "
+        "closure summary",
+    )
+    parser.add_argument(
+        "--coverage-report",
+        metavar="FILE",
+        help="write the JSON closure report to FILE (implies --coverage)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -285,7 +311,21 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--metrics",
         action="store_true",
-        help="print the merged observability counters",
+        help="print the merged observability counters and gauges",
+    )
+    _add_coverage_flags(fuzz)
+    fuzz.add_argument(
+        "--guided",
+        action="store_true",
+        help="coverage-guided seed scheduling: tests that reach novel "
+        "coverage enter an energy-weighted mutation corpus "
+        "(implies --coverage)",
+    )
+    fuzz.add_argument(
+        "--coverage-db",
+        metavar="PATH",
+        help="coverage database to merge the campaign into (default: "
+        "<cache root>/coverage/coverage.json when caching is on)",
     )
     _add_cache_flags(fuzz)
 
@@ -315,6 +355,48 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="verification cache directory (default: $REPRO_CACHE_DIR, "
             "else ~/.cache/rtlcheck-repro)",
+        )
+
+    coverage = sub.add_parser(
+        "coverage", help="inspect the persistent coverage database"
+    )
+    coverage_sub = coverage.add_subparsers(dest="coverage_command", required=True)
+    cov_report = coverage_sub.add_parser(
+        "report", help="closure report over every merged campaign"
+    )
+    cov_diff = coverage_sub.add_parser(
+        "diff", help="per-domain key-set diff of two coverage documents"
+    )
+    cov_diff.add_argument("base", help="baseline coverage document")
+    cov_diff.add_argument("other", help="coverage document to compare")
+    cov_merge = coverage_sub.add_parser(
+        "merge", help="merge coverage documents into a database"
+    )
+    cov_merge.add_argument(
+        "inputs", nargs="+", metavar="FILE", help="coverage documents to merge"
+    )
+    cov_merge.add_argument(
+        "--into",
+        metavar="PATH",
+        help="destination database (default: the --db / cache-derived path)",
+    )
+    for sub_parser in (cov_report, cov_diff, cov_merge):
+        sub_parser.add_argument(
+            "--db",
+            metavar="PATH",
+            help="coverage database path (default: "
+            "<cache root>/coverage/coverage.json)",
+        )
+        sub_parser.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            help="cache directory the default database path derives from",
+        )
+        sub_parser.add_argument(
+            "-o",
+            "--output",
+            metavar="FILE",
+            help="also write the JSON document to FILE",
         )
     return parser
 
@@ -367,16 +449,32 @@ def _wants_observability(args) -> bool:
     return bool(args.report or args.trace or args.metrics)
 
 
-def _emit_observability(args, results, jobs=None, cache=None) -> None:
+def _wants_coverage(args) -> bool:
+    return bool(
+        getattr(args, "coverage", False)
+        or getattr(args, "coverage_report", None)
+        or getattr(args, "guided", False)
+    )
+
+
+def _emit_observability(args, results, jobs=None, cache=None):
     """Write the report/trace files and print counters as requested.
 
     Called on every exit path — a bug-finding run still produces its
     full report before the command returns non-zero.  ``cache``, when
     given, contributes its statistics snapshot as the report's
-    top-level ``"cache"`` key and a ``--metrics`` section.
+    top-level ``"cache"`` key and a ``--metrics`` section.  Returns the
+    closure report (or ``None``) so callers can persist it.
     """
     from repro import obs
 
+    states = [r.obs or {} for r in results.values()]
+    closure = None
+    if _wants_coverage(args):
+        coverage_map = obs.merge_states(states).coverage
+        if coverage_map is None:
+            coverage_map = obs.CoverageMap()
+        closure = obs.closure_report(coverage_map, tests=len(results))
     if args.report:
         obs.write_report(
             args.report,
@@ -386,6 +484,7 @@ def _emit_observability(args, results, jobs=None, cache=None) -> None:
                 memory_variant=args.memory,
                 jobs=jobs,
                 cache=None if cache is None else cache.stats.snapshot(),
+                coverage=closure,
             ),
         )
         print(f"wrote run report to {args.report}")
@@ -395,17 +494,29 @@ def _emit_observability(args, results, jobs=None, cache=None) -> None:
         )
         print(f"wrote Chrome trace to {args.trace}")
     if args.metrics:
-        counters = obs.merge_counters(
-            [r.obs or {} for r in results.values()]
-        )
+        counters = obs.merge_counters(states)
         print("\ncounters:")
         for name in sorted(counters):
             print(f"  {name:40s} {counters[name]:.0f}")
+        gauges = obs.merge_gauges(states)
+        if gauges:
+            print("\ngauges:")
+            for name in sorted(gauges):
+                print(f"  {name:40s} {gauges[name]:g}")
         if cache is not None:
             stats = cache.stats.snapshot()
             print("\ncache counters:")
             for name in sorted(stats):
                 print(f"  {name:40s} {stats[name]:.0f}")
+    if closure is not None:
+        print()
+        print(obs.render_closure(closure))
+        if args.coverage_report:
+            from repro.obs.coverage import write_coverage_json
+
+            write_coverage_json(args.coverage_report, closure)
+            print(f"wrote coverage report to {args.coverage_report}")
+    return closure
 
 
 def cmd_verify(args) -> int:
@@ -414,6 +525,7 @@ def cmd_verify(args) -> int:
         config=CONFIGS[args.config],
         use_reach_graph=(args.explorer == "graph"),
         observe=_wants_observability(args),
+        coverage=_wants_coverage(args),
         cache=cache,
         state_backend=args.state_backend,
     )
@@ -460,6 +572,7 @@ def cmd_suite(args) -> int:
         config=CONFIGS[args.config],
         use_reach_graph=(args.explorer == "graph"),
         observe=_wants_observability(args),
+        coverage=_wants_coverage(args),
         cache=cache,
         state_backend=args.state_backend,
     )
@@ -481,7 +594,25 @@ def cmd_suite(args) -> int:
         print(f"cache: {cache.stats.summary()}")
     # Observability artifacts are written before the exit code is
     # decided, so bug-finding runs still produce their full report.
-    _emit_observability(args, results, jobs=args.jobs, cache=cache)
+    closure = _emit_observability(args, results, jobs=args.jobs, cache=cache)
+    if closure is not None and cache is not None:
+        from repro.obs.coverage import (
+            CoverageDB,
+            CoverageMap,
+            default_coverage_db_path,
+        )
+
+        db = CoverageDB(default_coverage_db_path(args.cache_dir))
+        db.merge(
+            CoverageMap.from_state(closure["coverage"]),
+            campaign={
+                "command": "suite",
+                "config": args.config,
+                "memory_variant": args.memory,
+                "tests": len(results),
+            },
+        )
+        print(f"coverage database updated: {db.path}")
     if failures:
         print(f"\n{failures} tests produced counterexamples")
     return 1 if failures else 0
@@ -501,6 +632,7 @@ def cmd_fuzz(args) -> int:
     from repro.cache import default_cache_dir
 
     observe = bool(args.trace or args.metrics)
+    coverage = _wants_coverage(args)
     config = FuzzConfig(
         seed=args.seed,
         budget=args.budget,
@@ -516,14 +648,22 @@ def cmd_fuzz(args) -> int:
         cache_dir=None
         if args.no_cache
         else (args.cache_dir or default_cache_dir()),
+        coverage=coverage,
+        guided=args.guided,
+        coverage_db=args.coverage_db,
     )
     total = config.budget
     done = [0]
 
-    def progress(_index, name):
+    def progress(_index, name, new=None):
         done[0] += 1
         if done[0] % 25 == 0 or done[0] == total:
-            print(f"[{done[0]}/{total}] cross-checked through {name}", flush=True)
+            line = f"[{done[0]}/{total}] cross-checked through {name}"
+            if new is not None:
+                # Cumulative novel coverage keys — the live saturation
+                # signal of a --coverage campaign.
+                line += f" (+{new} new)"
+            print(line, flush=True)
 
     recorder = obs.TraceRecorder() if observe else obs.NULL_RECORDER
     with obs.use_recorder(recorder):
@@ -578,6 +718,18 @@ def cmd_fuzz(args) -> int:
         print("\ncounters:")
         for name in sorted(recorder.counters):
             print(f"  {name:40s} {recorder.counters[name]:.0f}")
+        if recorder.gauges:
+            print("\ngauges:")
+            for name in sorted(recorder.gauges):
+                print(f"  {name:40s} {recorder.gauges[name]:g}")
+    if "coverage" in report:
+        print()
+        print(obs.render_closure(report["coverage"]))
+        if args.coverage_report:
+            from repro.obs.coverage import write_coverage_json
+
+            write_coverage_json(args.coverage_report, report["coverage"])
+            print(f"wrote coverage report to {args.coverage_report}")
     return 1 if result.discrepancies else 0
 
 
@@ -615,6 +767,113 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def _coverage_state_from(path: str):
+    """The per-domain coverage state carried by any coverage-bearing
+    JSON document: a coverage database, a standalone closure report, or
+    a suite/fuzz run report with an embedded ``coverage`` section.
+    Returns ``None`` when the document is none of those."""
+    import json
+
+    from repro.obs.coverage import COVERAGE_DB_KIND, COVERAGE_REPORT_KIND
+
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        return None
+    kind = document.get("kind")
+    if kind == COVERAGE_DB_KIND:
+        return document.get("domains", {})
+    if kind == COVERAGE_REPORT_KIND:
+        return document.get("coverage", {})
+    embedded = document.get("coverage")
+    if (
+        isinstance(embedded, dict)
+        and embedded.get("kind") == COVERAGE_REPORT_KIND
+    ):
+        return embedded.get("coverage", {})
+    return None
+
+
+def cmd_coverage(args) -> int:
+    from repro.obs.coverage import (
+        CoverageDB,
+        CoverageMap,
+        closure_report,
+        coverage_diff,
+        default_coverage_db_path,
+        render_closure,
+        render_diff,
+        write_coverage_json,
+    )
+
+    def load_state(path):
+        try:
+            state = _coverage_state_from(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+        if state is None:
+            print(
+                f"error: {path} is not a coverage database or report",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        return state
+
+    db_path = args.db or default_coverage_db_path(args.cache_dir)
+
+    if args.coverage_command == "report":
+        db = CoverageDB(db_path)
+        document = db.load()
+        if db.reset_reason:
+            print(
+                f"warning: coverage database reset ({db.reset_reason})",
+                file=sys.stderr,
+            )
+        campaigns = document.get("campaigns", [])
+        tests = sum(int(c.get("tests", 0)) for c in campaigns)
+        report = closure_report(
+            CoverageMap.from_state(document.get("domains", {})),
+            tests=tests or None,
+        )
+        print(f"coverage database: {db.path}")
+        print(
+            f"campaigns merged: {len(campaigns)}; "
+            f"corpus entries: {len(document.get('corpus', []))}"
+        )
+        print(render_closure(report))
+        if args.output:
+            write_coverage_json(args.output, report)
+            print(f"wrote closure report to {args.output}")
+        return 0
+
+    if args.coverage_command == "diff":
+        diff = coverage_diff(load_state(args.base), load_state(args.other))
+        print(render_diff(diff))
+        if args.output:
+            write_coverage_json(args.output, diff)
+            print(f"wrote coverage diff to {args.output}")
+        return 0
+
+    # merge
+    merged = CoverageMap()
+    for path in args.inputs:
+        merged.merge_state(load_state(path))
+    db = CoverageDB(args.into or db_path)
+    document = db.merge(
+        merged, campaign={"command": "merge", "inputs": len(args.inputs)}
+    )
+    total = CoverageMap.from_state(document["domains"]).total_unique()
+    print(
+        f"merged {len(args.inputs)} document(s) into {db.path}: "
+        f"{total} unique keys"
+    )
+    if args.output:
+        write_coverage_json(args.output, document)
+        print(f"wrote merged database to {args.output}")
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "show": cmd_show,
@@ -625,6 +884,7 @@ COMMANDS = {
     "suite": cmd_suite,
     "fuzz": cmd_fuzz,
     "cache": cmd_cache,
+    "coverage": cmd_coverage,
 }
 
 

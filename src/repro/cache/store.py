@@ -181,13 +181,23 @@ class VerificationCache:
 
     # -- verdict tier ---------------------------------------------------
 
-    def load_verdict(self, key: str, observe: bool = False, record_miss: bool = True):
+    def load_verdict(
+        self,
+        key: str,
+        observe: bool = False,
+        coverage: bool = False,
+        record_miss: bool = True,
+    ):
         """Rehydrate a cached :class:`TestVerification`, or ``None``.
 
         ``observe=True`` demands an entry recorded with observability
         on — a hit must replay complete spans and counters, so an
         unobserved entry is reported as a miss and recomputed (the
-        recompute then upgrades the entry in place).
+        recompute then upgrades the entry in place).  ``coverage=True``
+        likewise demands an entry whose obs snapshot carries a coverage
+        map; a coverage-only hit (``observe=False``) attaches just the
+        coverage portion so warm runs merge the same keys as cold runs
+        without replaying counters the run never asked for.
 
         ``record_miss=False`` keeps a miss out of the statistics; the
         suite parent's prefetch probe uses it so that one logical
@@ -218,10 +228,28 @@ class VerificationCache:
                     self.stats.bump("cache.verdict.misses")
                     self.stats.bump("cache.verdict.unobserved_misses")
                 return None
+            if coverage and not entry.get("covered"):
+                if record_miss:
+                    self.stats.bump("cache.verdict.misses")
+                    self.stats.bump("cache.verdict.uncovered_misses")
+                return None
             test = LitmusTest.from_dict(entry["test"])
             result = TestVerification.from_dict(entry["result"], test=test)
             result.sva_text = entry["sva_text"]
-            result.obs = entry["obs"] if observe else None
+            if observe:
+                result.obs = entry["obs"]
+            elif coverage:
+                # Coverage-only hit: strip counters/gauges so a warm
+                # run's obs state matches what a CoverageRecorder (the
+                # enabled=False sink) would have produced cold.
+                result.obs = {
+                    "events": [],
+                    "counters": {},
+                    "gauges": {},
+                    "coverage": (entry["obs"] or {}).get("coverage"),
+                }
+            else:
+                result.obs = None
         except Exception:
             self._drop("verdict", key, "corrupt")
             if record_miss:
@@ -240,7 +268,11 @@ class VerificationCache:
             "schema_version": SCHEMA_VERSION,
             "key": key,
             "test": result.test.to_dict(),
-            "observed": result.obs is not None,
+            # A coverage-only run (CoverageRecorder) attaches an obs
+            # snapshot too, but with no spans recorded — only a fully
+            # observed entry may satisfy a later observe=True lookup.
+            "observed": bool(result.obs and result.obs.get("events")),
+            "covered": bool(result.obs and result.obs.get("coverage")),
             "obs": result.obs,
             "sva_text": result.sva_text,
             "result": result.to_dict(),

@@ -231,6 +231,7 @@ class TestVerification:
             "bounded_bounds": list(self.bounded_bounds),
             "modeled_hours": self.modeled_hours,
             "counters": dict((self.obs or {}).get("counters", {})),
+            "gauges": dict((self.obs or {}).get("gauges", {})),
         }
 
     @classmethod
@@ -271,10 +272,10 @@ class TestVerification:
             graph_states=data["graph_states"],
             graph_transitions=data["graph_transitions"],
         )
-        if data.get("counters"):
+        if data.get("counters") or data.get("gauges"):
             result.obs = {
                 "events": [],
-                "counters": dict(data["counters"]),
-                "gauges": {},
+                "counters": dict(data.get("counters", {})),
+                "gauges": dict(data.get("gauges", {})),
             }
         return result

@@ -119,6 +119,7 @@ class RTLCheck:
         program_mapping_factory=MultiVScaleProgramMapping,
         use_reach_graph: bool = USE_REACH_GRAPH,
         observe: bool = False,
+        coverage: bool = False,
         cache=None,
         state_backend: str = "array",
     ):
@@ -134,6 +135,10 @@ class RTLCheck:
         self.program_mapping_factory = program_mapping_factory
         self.use_reach_graph = use_reach_graph
         self.observe = observe
+        #: Collect microarchitectural coverage maps per test
+        #: (:mod:`repro.obs.coverage`) and attach them to ``result.obs``
+        #: — with or without full observability.
+        self.coverage = coverage
         #: Snapshot representation applied to factory-built designs:
         #: ``"array"`` (interned flat vectors + batched expansion — the
         #: default) or ``"dict"`` (nested tuples, the equivalence
@@ -244,16 +249,28 @@ class RTLCheck:
         key = None
         if self.cache is not None:
             key = self.verdict_key(test, memory_variant, skip_cover_shortcut)
-            cached = self.cache.load_verdict(key, observe=self.observe)
+            cached = self.cache.load_verdict(
+                key, observe=self.observe, coverage=self.coverage
+            )
             if cached is not None:
                 return cached
         try:
-            if not self.observe:
+            if not (self.observe or self.coverage):
                 result = self._verify_test(
                     test, memory_variant, skip_cover_shortcut
                 )
             else:
-                recorder = obs.TraceRecorder()
+                if self.observe:
+                    coverage_map = None
+                    if self.coverage:
+                        from repro.obs.coverage import CoverageMap
+
+                        coverage_map = CoverageMap()
+                    recorder = obs.TraceRecorder(coverage=coverage_map)
+                else:
+                    # Coverage without metrics: the enabled=False sink,
+                    # so span/counter instrumentation stays no-op.
+                    recorder = obs.CoverageRecorder()
                 with obs.use_recorder(recorder):
                     result = self._verify_test(
                         test, memory_variant, skip_cover_shortcut
@@ -376,6 +393,11 @@ class RTLCheck:
                 result.proof_seconds = proof_span.seconds
 
             self._record_graph_stats(result, explorer, recorder, wall)
+            coverage = getattr(recorder, "coverage", None)
+            if coverage is not None:
+                self._collect_coverage(
+                    coverage, test, explorer, cover, result, recorder
+                )
             if recorder.enabled:
                 # A warm-loaded graph carries its own pickled checker
                 # (with the firing counts accumulated when it was
@@ -445,6 +467,37 @@ class RTLCheck:
         recorder.count(
             "nfa.predicate_memo_misses", sum(n.memo_misses for n in monitor.nfas)
         )
+
+    @staticmethod
+    def _collect_coverage(
+        coverage, test, explorer, cover, result, recorder
+    ) -> None:
+        """Fold one verification's microarchitectural coverage into
+        ``coverage`` (a :class:`~repro.obs.coverage.CoverageMap`).
+
+        Runs at the same flush point as :meth:`_record_graph_stats` —
+        after both phases, once per test — so the graph is walked
+        exactly once however many properties were checked.  Keys are
+        derived from run-stable signatures (slot-vector digests, not
+        interner ids), so maps merge meaningfully across runs and
+        processes; see ``docs/observability.md``.
+        """
+        from repro.obs.coverage import collect_graph_coverage, shape_features
+
+        graph = getattr(explorer, "graph", None)
+        if graph is not None:
+            collect_graph_coverage(coverage, graph)
+        for name in sorted(cover.fired_assumptions):
+            coverage.add("assumption", f"fired:{name}")
+        for prop in result.properties:
+            coverage.add("assumption", f"assert:{prop.name}:{prop.status}")
+        for feature in shape_features(test):
+            coverage.add("shape", feature)
+        if recorder.enabled:
+            for domain in sorted(coverage.domains):
+                recorder.count(
+                    f"coverage.{domain}.keys", len(coverage.domains[domain])
+                )
 
     @staticmethod
     def _record_graph_stats(
@@ -550,6 +603,7 @@ class RTLCheck:
                     cached = self.cache.load_verdict(
                         self.verdict_key(test, memory_variant),
                         observe=self.observe,
+                        coverage=self.coverage,
                         record_miss=False,
                     )
                     if cached is None:

@@ -75,6 +75,13 @@ class FuzzGenerator:
         self.seed = seed
         self.max_procs = max_procs
         self.long_programs = long_programs
+        #: Per-test provenance, keyed by generated name: ``mode``
+        #: ("cycle" / "random" / "long" / "mutant"), the diy ``cycle``
+        #: edge names for cycle-born tests, and the ``parent`` name for
+        #: mutants.  The coverage scheduler folds these into the shape
+        #: domain so saturation is tracked per cycle family.
+        self.meta: Dict[str, Dict[str, object]] = {}
+        self._last_cycle: List[str] = []
 
     def test_at(self, index: int) -> LitmusTest:
         """The ``index``-th generated test (pure function of the seed).
@@ -121,15 +128,19 @@ class FuzzGenerator:
                 raise LitmusError(f"{name}: too many threads")
             if test.instruction_count() > _LONG_TOTAL_OPS_CAP:
                 raise LitmusError(f"{name}: too many instructions")
+            self.meta[name] = {"mode": "long"}
             return test
         if rng.random() < 0.6:
             test = self._cycle_seeded(name, rng)
+            meta = {"mode": "cycle", "cycle": list(self._last_cycle)}
         else:
             test = self._unconstrained(name, rng)
+            meta = {"mode": "random"}
         if test.num_threads > self.max_procs:
             raise LitmusError(f"{name}: too many threads")
         if test.instruction_count() > _TOTAL_OPS_CAP:
             raise LitmusError(f"{name}: too many instructions")
+        self.meta[name] = meta
         return test
 
     # -- cycle mode ----------------------------------------------------
@@ -141,6 +152,7 @@ class FuzzGenerator:
             max_length=6,
             max_procs=self.max_procs,
         )
+        self._last_cycle = list(cycle)
         base = generate_from_cycle(name, cycle)
         threads = [list(t) for t in base.threads]
         out_regs = dict(base.outcome.register_map)
@@ -224,6 +236,58 @@ class FuzzGenerator:
             threads.append(ops)
         return LitmusTest.of(name, threads, Outcome.of({}))
 
+    # -- mutation (coverage-guided scheduling) -------------------------
+
+    def mutate(
+        self, parent: LitmusTest, name: str, rng: random.Random
+    ) -> LitmusTest:
+        """Derive a mutant of ``parent`` named ``name``.
+
+        Applies 1–3 perturbations drawn from the same palette cycle
+        mode uses, plus a growth mutation (:meth:`_insert_random_op`)
+        the from-scratch modes lack — corpus entries earn their energy
+        by reaching novel states, and growing a proven-interesting
+        program is the cheapest way to reach nearby ones.  Size caps
+        match the parent's regime (a long-program parent may stay
+        long).  Invalid products raise :class:`LitmusError`; the
+        scheduler retries with a bumped attempt counter, keeping the
+        mutant stream deterministic in ``(seed, round, slot)``.
+        """
+        threads = [list(t) for t in parent.threads]
+        out_regs = dict(parent.outcome.register_map)
+        out_mem = dict(parent.outcome.final_memory_map)
+        long_parent = parent.instruction_count() > _TOTAL_OPS_CAP
+        total_cap = _LONG_TOTAL_OPS_CAP if long_parent else _TOTAL_OPS_CAP
+
+        for _ in range(rng.randint(1, 3)):
+            roll = rng.random()
+            if roll < 0.20:
+                self._insert_fence(threads, rng)
+            elif roll < 0.40:
+                self._insert_random_op(threads, rng)
+            elif roll < 0.55:
+                self._perturb_store_value(threads, rng)
+            elif roll < 0.65:
+                self._merge_addresses(threads, out_mem, rng)
+            elif roll < 0.75:
+                self._drop_op(threads, out_regs, rng)
+            elif roll < 0.85:
+                self._reorder_thread(threads, rng)
+            else:
+                out_regs, out_mem = self._rewrite_outcome(threads, rng)
+
+        threads = [t for t in threads if t] or [[]]
+        test = LitmusTest.of(name, threads, Outcome.of(out_regs, out_mem))
+        if test.num_threads > self.max_procs:
+            raise LitmusError(f"{name}: too many threads")
+        if test.instruction_count() > total_cap:
+            raise LitmusError(f"{name}: too many instructions")
+        if test.instruction_count() == 0:
+            raise LitmusError(f"{name}: empty mutant")
+        test.validate()
+        self.meta[name] = {"mode": "mutant", "parent": parent.name}
+        return test
+
     # -- perturbations (all deterministic in rng) ----------------------
 
     @staticmethod
@@ -251,6 +315,30 @@ class FuzzGenerator:
         thread = rng.choice(candidates)
         position = rng.randint(0, len(threads[thread]))
         threads[thread].insert(position, fence())
+
+    def _insert_random_op(self, threads, rng) -> None:
+        """Growth mutation: insert one store or load at a random
+        position.  Fresh loads write ``m<k>`` registers (disjoint from
+        the generators' ``r<k>`` pool), so insertion never collides
+        with the parent's outcome registers."""
+        if not threads:
+            return
+        variables = sorted(
+            {op.addr for ops in threads for op in ops if op.addr is not None}
+        ) or list(_VARS[:2])
+        thread = rng.randrange(len(threads))
+        position = rng.randint(0, len(threads[thread]))
+        var = rng.choice(variables)
+        if rng.random() < 0.5:
+            threads[thread].insert(position, store(var, rng.randint(1, 3)))
+        else:
+            existing = {
+                op.out for ops in threads for op in ops if op.is_load
+            }
+            k = 0
+            while f"m{k}" in existing:
+                k += 1
+            threads[thread].insert(position, load(var, f"m{k}"))
 
     def _perturb_store_value(self, threads, rng) -> None:
         stores = self._stores(threads)

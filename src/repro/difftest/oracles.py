@@ -254,13 +254,16 @@ def trace_verdicts(
     samples: int = DEFAULT_TRACE_SAMPLES,
     seed: int = 0,
     max_states: int = DEFAULT_MAX_STATES,
+    grant_sink: Optional[Dict[str, int]] = None,
 ) -> Tuple[List[TraceCheck], int, int]:
     """Sample ``samples`` RTL executions and polycheck each under SC.
 
     Returns ``(checks, sampled, undrained)``.  ``max_states`` bounds
     the per-trace witness search; a tripped budget raises
     :class:`ReproError` (the campaign records the refusal rather than
-    mislabeling the trace).
+    mislabeling the trace).  ``grant_sink``, when given, receives the
+    harvest's arbiter-grant n-gram counts (coverage collection; the
+    sampled schedules are identical either way).
     """
     check_wellformed(test)
 
@@ -269,8 +272,15 @@ def trace_verdicts(
         from repro.vscale.trace import harvest_traces
 
         harvest = harvest_traces(
-            test, memory_variant, samples=samples, seed=seed
+            test,
+            memory_variant,
+            samples=samples,
+            seed=seed,
+            collect_grants=grant_sink is not None,
         )
+        if grant_sink is not None and harvest.grant_ngrams:
+            for ngram, hits in harvest.grant_ngrams.items():
+                grant_sink[ngram] = grant_sink.get(ngram, 0) + hits
         checks = []
         for trace in harvest.traces:
             verdict = check_trace(trace, "sc", max_states=max_states)
@@ -341,6 +351,9 @@ def evaluate_oracles(
             )
     verdicts = TestVerdicts(test=test, memory_variant=memory_variant)
     recorder = obs.get_recorder()
+    #: The active recorder's coverage map (``None`` unless the campaign
+    #: runs with coverage collection — see :mod:`repro.obs.coverage`).
+    coverage = getattr(recorder, "coverage", None)
     if cache is not None:
         from repro.cache import keys as cache_keys
 
@@ -448,15 +461,23 @@ def evaluate_oracles(
         with obs.span("oracle.verifier", test=test.name, memory=memory_variant):
             try:
                 checker = rtlcheck
-                if checker is None and cache is not None:
+                if checker is None and (
+                    cache is not None or coverage is not None
+                ):
                     from repro.core.rtlcheck import RTLCheck
 
                     # Observed when recording: the verifier's counters
                     # then ride on ``result.obs`` and are merged below,
                     # whether computed cold or replayed from the cache.
-                    checker = RTLCheck(cache=cache, observe=recorder.enabled)
+                    # With coverage on, the inner RTLCheck collects the
+                    # graph/assumption/shape domains the same way.
+                    checker = RTLCheck(
+                        cache=cache,
+                        observe=recorder.enabled,
+                        coverage=coverage is not None,
+                    )
                 result = verifier_verdicts(test, memory_variant, checker)
-                if recorder.enabled and result.obs:
+                if result.obs and (recorder.enabled or coverage is not None):
                     recorder.merge_state(result.obs)
                 verdicts.verifier_bug_found = result.bug_found
                 verdicts.verifier_verified_by_cover = result.verified_by_cover
@@ -483,29 +504,42 @@ def evaluate_oracles(
                         extra={"samples": trace_samples, "seed": trace_seed},
                     )
                     payload = cache.load_oracle(key)
+                    if (
+                        payload is not None
+                        and coverage is not None
+                        and "coverage" not in payload
+                    ):
+                        # Entry predates coverage collection: recompute
+                        # so warm campaigns merge the same grant
+                        # n-grams as cold ones (the rewrite below
+                        # upgrades the entry in place).
+                        payload = None
                 if payload is None:
+                    grant_sink = {} if coverage is not None else None
                     checks, sampled, undrained = trace_verdicts(
                         test,
                         memory_variant,
                         samples=trace_samples,
                         seed=trace_seed,
                         max_states=max_states,
+                        grant_sink=grant_sink,
                     )
                     if key is not None:
-                        cache.store_oracle(
-                            key,
-                            {
-                                "checks": [c.to_json() for c in checks],
-                                "sampled": sampled,
-                                "undrained": undrained,
-                            },
-                        )
+                        entry = {
+                            "checks": [c.to_json() for c in checks],
+                            "sampled": sampled,
+                            "undrained": undrained,
+                        }
+                        if grant_sink is not None:
+                            entry["coverage"] = grant_sink
+                        cache.store_oracle(key, entry)
                 else:
                     checks = [
                         TraceCheck.from_json(c) for c in payload["checks"]
                     ]
                     sampled = payload["sampled"]
                     undrained = payload["undrained"]
+                    grant_sink = payload.get("coverage")
                     if recorder.enabled:
                         # Replay the counters the cold polycheck pass
                         # records (repro.memodel.polycheck), so a warm
@@ -514,6 +548,12 @@ def evaluate_oracles(
                         recorder.count(
                             "polycheck.events",
                             sum(c.events for c in checks),
+                        )
+                if coverage is not None and grant_sink:
+                    coverage.merge_state({"arbiter": grant_sink})
+                    if recorder.enabled:
+                        recorder.count(
+                            "coverage.arbiter.keys", len(grant_sink)
                         )
                 verdicts.trace_checks = checks
                 verdicts.trace_sampled = sampled

@@ -74,6 +74,25 @@ def fuzz_report(result) -> Dict[str, Any]:
         # and checkpoint-resume bookkeeping for cached campaigns.
         "cache": dict(result.cache_stats),
         "resumed": result.resumed,
+        **_coverage_section(result),
+    }
+
+
+def _coverage_section(result) -> Dict[str, Any]:
+    """The additive ``coverage`` key for coverage-collecting campaigns
+    (the closure-report document, plus the guided flag), absent
+    otherwise so non-coverage reports are byte-identical to before."""
+    if result.coverage is None:
+        return {}
+    from repro.obs.coverage import CoverageMap, closure_report
+
+    return {
+        "coverage": closure_report(
+            CoverageMap.from_state(result.coverage),
+            tests=result.tests_run,
+            novelty=result.novelty,
+            guided=result.config.guided,
+        )
     }
 
 

@@ -69,6 +69,18 @@ class FuzzConfig:
     long_programs: bool = False
     #: Executions the trace oracle samples per test.
     trace_samples: int = DEFAULT_TRACE_SAMPLES
+    #: Collect microarchitectural coverage maps
+    #: (:mod:`repro.obs.coverage`) per test and aggregate them into the
+    #: campaign map / closure report.
+    coverage: bool = False
+    #: Coverage-guided seed scheduling
+    #: (:class:`repro.difftest.schedule.CoverageScheduler`); implies
+    #: coverage collection.
+    guided: bool = False
+    #: Explicit coverage-database path.  Defaults to the cache
+    #: directory's ``coverage/coverage.json`` when a cache is attached;
+    #: without either, the campaign map is not persisted.
+    coverage_db: Optional[str] = None
 
     def __post_init__(self):
         if self.budget < 0:
@@ -93,6 +105,11 @@ class FuzzConfig:
         if self.trace_samples < 1:
             raise ReproError(
                 f"trace_samples must be >= 1, got {self.trace_samples}"
+            )
+        if self.guided and not self.coverage:
+            raise ReproError(
+                "guided scheduling requires coverage collection "
+                "(pass coverage=True / --coverage)"
             )
 
 
@@ -145,6 +162,11 @@ class FuzzResult:
     #: campaign (0 without a cache or on a fresh campaign).
     resumed: int = 0
     wall_seconds: float = 0.0
+    #: Campaign coverage map state (``None`` unless config.coverage).
+    coverage: Optional[Dict] = None
+    #: New coverage keys per test, in stream order (the saturation
+    #: signal; empty unless config.coverage).
+    novelty: List[int] = field(default_factory=list)
 
     def report(self) -> Dict:
         from repro.difftest.report import fuzz_report
@@ -158,6 +180,12 @@ class FuzzResult:
 #: workers live in separate processes.
 CRASH_TEST_ENV = "REPRO_DIFFTEST_CRASH_TEST"
 
+#: Batch size of the coverage campaign loop.  Fixed (never derived from
+#: ``--jobs``) so the generated test stream — including every guided
+#: scheduling decision, which can only see feedback from *previous*
+#: batches — is a pure function of ``(seed, budget)``.
+_COVERAGE_ROUND = 16
+
 
 def _fuzz_worker(
     test,
@@ -168,6 +196,7 @@ def _fuzz_worker(
     cache_dir=None,
     trace_samples=DEFAULT_TRACE_SAMPLES,
     trace_seed=0,
+    coverage=False,
 ):
     """Module-level task body for the fuzz process pool: evaluate one
     test, cross-check, and ship everything picklable back (including
@@ -179,7 +208,18 @@ def _fuzz_worker(
         from repro.cache import VerificationCache
 
         cache = VerificationCache(cache_dir)
-    recorder = obs.TraceRecorder() if observe else None
+    recorder = None
+    if observe:
+        coverage_map = None
+        if coverage:
+            from repro.obs.coverage import CoverageMap
+
+            coverage_map = CoverageMap()
+        recorder = obs.TraceRecorder(coverage=coverage_map)
+    elif coverage:
+        # Coverage without metrics: the enabled=False sink keeps every
+        # span/counter call a no-op (the <3% overhead budget).
+        recorder = obs.CoverageRecorder()
     try:
         if recorder is not None:
             with obs.use_recorder(recorder):
@@ -256,15 +296,212 @@ def _tally(tally: Dict[str, int], summary: Dict) -> None:
         tally[key] = tally.get(key, 0) + 1
 
 
+def _process_outcome(
+    config: FuzzConfig,
+    result: FuzzResult,
+    cache,
+    obs_states: List[Dict],
+    test: LitmusTest,
+    index: int,
+    outcome: Dict,
+) -> None:
+    """Fold one evaluated test's worker outcome into the campaign
+    result (always called in index order, whatever the completion
+    order was)."""
+    result.tests_run += 1
+    if outcome["obs"] is not None:
+        obs_states.append(outcome["obs"])
+    if cache is not None and outcome.get("cache_stats"):
+        cache.stats.merge(outcome["cache_stats"])
+    if outcome["error"] is not None:
+        entry = {"test": test.name, "index": index, "error": outcome["error"]}
+        if outcome.get("crashed"):
+            entry["crashed"] = True
+            result.skipped["worker_crashed"] = (
+                result.skipped.get("worker_crashed", 0) + 1
+            )
+        result.oracle_errors.append(entry)
+        return
+    summary = outcome["summary"]
+    result.verdicts[test.name] = summary
+    for oracle, message in summary.get("errors", {}).items():
+        result.oracle_errors.append(
+            {
+                "test": test.name,
+                "index": index,
+                "oracle": oracle,
+                "error": message,
+            }
+        )
+    if outcome["rtl_incomplete"]:
+        result.skipped["rtl_incomplete"] = (
+            result.skipped.get("rtl_incomplete", 0) + 1
+        )
+    trace_summary = summary.get("trace")
+    if trace_summary is not None and trace_summary["undrained"]:
+        result.skipped["trace_undrained"] = (
+            result.skipped.get("trace_undrained", 0)
+            + trace_summary["undrained"]
+        )
+    _tally(result.verdict_tally, summary)
+    for discrepancy in outcome["discrepancies"]:
+        discrepancy.seed = config.seed
+        discrepancy.index = index
+        result.discrepancies.append(
+            DiscrepancyEntry(
+                discrepancy=discrepancy,
+                test=test,
+                memory_variant=config.memory_variant,
+                verdicts=summary,
+            )
+        )
+
+
+def _run_coverage_campaign(
+    config: FuzzConfig,
+    result: FuzzResult,
+    generator: FuzzGenerator,
+    oracles_for,
+    worker_args,
+    cache,
+    manifest,
+    progress,
+    obs_states: List[Dict],
+) -> None:
+    """The coverage-collecting campaign loop: fixed-size batches,
+    evaluated (possibly in parallel) then folded in strict stream
+    order, so the campaign map, the novelty sequence, and every guided
+    scheduling decision are deterministic in ``(seed, budget)``
+    whatever ``--jobs`` is."""
+    from repro.difftest.schedule import CoverageScheduler
+    from repro.obs.coverage import (
+        CoverageDB,
+        CoverageMap,
+        default_coverage_db_path,
+        shape_features,
+    )
+
+    coverage_map = CoverageMap()
+    db_path = config.coverage_db
+    if db_path is None and config.cache_dir is not None:
+        db_path = default_coverage_db_path(config.cache_dir)
+    scheduler = None
+    if config.guided:
+        scheduler = CoverageScheduler(generator, config.seed)
+        if db_path is not None:
+            # Resume last run's winners (an empty or fresh database
+            # preloads nothing, keeping first campaigns pure
+            # (seed, budget) functions).
+            scheduler.load_corpus(CoverageDB(db_path).load().get("corpus", []))
+
+    pool = None
+    produced = 0
+    new_cumulative = 0
+    try:
+        if config.jobs > 1 and config.budget > 1:
+            pool = ProcessPoolExecutor(max_workers=config.jobs)
+        while produced < config.budget:
+            size = min(_COVERAGE_ROUND, config.budget - produced)
+            if scheduler is not None:
+                batch = scheduler.next_batch(size)
+            else:
+                batch = [
+                    generator.test_at(produced + i) for i in range(size)
+                ]
+            batch_outcomes: Dict[int, Dict] = {}
+            if pool is not None and size > 1:
+                futures = {
+                    pool.submit(_fuzz_worker, *worker_args(test)): slot
+                    for slot, test in enumerate(batch)
+                }
+                for future in as_completed(futures):
+                    slot = futures[future]
+                    try:
+                        batch_outcomes[slot] = future.result()
+                    except Exception as exc:
+                        batch_outcomes[slot] = _crash_outcome(exc)
+                    else:
+                        if manifest is not None:
+                            manifest.mark_done(str(produced + slot))
+            else:
+                for slot, test in enumerate(batch):
+                    try:
+                        batch_outcomes[slot] = _fuzz_worker(
+                            *worker_args(test)
+                        )
+                    except Exception as exc:
+                        batch_outcomes[slot] = _crash_outcome(exc)
+                    else:
+                        if manifest is not None:
+                            manifest.mark_done(str(produced + slot))
+            for slot, test in enumerate(batch):
+                outcome = batch_outcomes[slot]
+                index = produced + slot
+                if oracles_for(test) != config.oracles:
+                    result.skipped["long_program"] = (
+                        result.skipped.get("long_program", 0) + 1
+                    )
+                delta = CoverageMap.from_state(
+                    (outcome.get("obs") or {}).get("coverage")
+                )
+                if "verifier" not in oracles_for(test):
+                    # The verifier-side flush point never ran for this
+                    # test (trace-only routing): record its shape
+                    # features parent-side so long programs still count
+                    # in the shape domain.
+                    for feature in shape_features(test):
+                        delta.add("shape", feature)
+                meta = generator.meta.get(test.name)
+                if meta:
+                    delta.add("shape", f"mode:{meta['mode']}")
+                    for edge in meta.get("cycle", ()):
+                        delta.add("shape", f"cycle:{edge}")
+                novelty = coverage_map.count_new(delta)
+                coverage_map.merge(delta)
+                new_total = sum(novelty.values())
+                result.novelty.append(new_total)
+                new_cumulative += new_total
+                if scheduler is not None:
+                    scheduler.feedback(test, novelty)
+                _process_outcome(
+                    config, result, cache, obs_states, test, index, outcome
+                )
+                if progress is not None:
+                    progress(index, test.name, new_cumulative)
+            produced += size
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    result.coverage = coverage_map.to_state()
+    if db_path is not None:
+        campaign_record = {
+            "seed": config.seed,
+            "budget": config.budget,
+            "memory_variant": config.memory_variant,
+            "oracles": list(config.oracles),
+            "guided": config.guided,
+            "tests": result.tests_run,
+            "new_keys_total": int(sum(result.novelty)),
+        }
+        corpus = scheduler.corpus_state() if scheduler is not None else None
+        CoverageDB(db_path).merge(
+            coverage_map, campaign=campaign_record, corpus=corpus
+        )
+
+
 def run_fuzz(
     config: FuzzConfig,
-    progress: Optional[Callable[[int, str], None]] = None,
+    progress: Optional[Callable[..., None]] = None,
 ) -> FuzzResult:
     """Run one differential fuzz campaign.
 
     ``progress``, when given, is called with ``(index, test_name)`` as
     each test's evaluation completes (completion order under ``jobs >
     1``; results themselves are always processed in index order).
+    With ``config.coverage`` the campaign runs in fixed-size batches
+    processed strictly in stream order, and ``progress`` instead
+    receives ``(index, test_name, cumulative_new_coverage_keys)``.
     """
     t0 = time.perf_counter()
     result = FuzzResult(config=config)
@@ -290,6 +527,10 @@ def run_fuzz(
             campaign_payload["long_programs"] = True
         if config.trace_samples != DEFAULT_TRACE_SAMPLES:
             campaign_payload["trace_samples"] = config.trace_samples
+        if config.coverage:
+            campaign_payload["coverage"] = True
+        if config.guided:
+            campaign_payload["guided"] = True
         campaign = cache_keys.campaign_key("fuzz", campaign_payload)
         manifest = cache.checkpoint(campaign, total=config.budget)
         result.resumed = manifest.resumed
@@ -300,7 +541,9 @@ def run_fuzz(
             max_procs=config.max_procs,
             long_programs=config.long_programs,
         )
-        tests = generator.suite(config.budget)
+        # The coverage campaign generates lazily, batch by batch (the
+        # guided scheduler needs feedback between batches).
+        tests = None if config.coverage else generator.suite(config.budget)
 
     def oracles_for(test: LitmusTest) -> Tuple[str, ...]:
         """Long tests exceed the exhaustive oracles' caps: route them to
@@ -309,28 +552,45 @@ def run_fuzz(
             return config.oracles
         return tuple(o for o in config.oracles if o == "trace")
 
-    long_gated = sum(
-        1 for test in tests if oracles_for(test) != config.oracles
-    )
-    if long_gated:
-        result.skipped["long_program"] = long_gated
+    if tests is not None:
+        long_gated = sum(
+            1 for test in tests if oracles_for(test) != config.oracles
+        )
+        if long_gated:
+            result.skipped["long_program"] = long_gated
 
-    outcomes: Dict[int, Dict] = {}
+    def worker_args(test: LitmusTest) -> Tuple:
+        return (
+            test,
+            config.memory_variant,
+            oracles_for(test),
+            config.max_states,
+            config.observe,
+            config.cache_dir,
+            config.trace_samples,
+            config.seed,
+            config.coverage,
+        )
+
+    obs_states: List[Dict] = []
     with obs.span("fuzz.evaluate", jobs=config.jobs):
-        if config.jobs > 1 and len(tests) > 1:
+        if config.coverage:
+            _run_coverage_campaign(
+                config,
+                result,
+                generator,
+                oracles_for,
+                worker_args,
+                cache,
+                manifest,
+                progress,
+                obs_states,
+            )
+        elif config.jobs > 1 and len(tests) > 1:
+            outcomes: Dict[int, Dict] = {}
             with ProcessPoolExecutor(max_workers=config.jobs) as pool:
                 futures = {
-                    pool.submit(
-                        _fuzz_worker,
-                        test,
-                        config.memory_variant,
-                        oracles_for(test),
-                        config.max_states,
-                        config.observe,
-                        config.cache_dir,
-                        config.trace_samples,
-                        config.seed,
-                    ): index
+                    pool.submit(_fuzz_worker, *worker_args(test)): index
                     for index, test in enumerate(tests)
                 }
                 for future in as_completed(futures):
@@ -348,78 +608,25 @@ def run_fuzz(
                             manifest.mark_done(str(index))
                     if progress is not None:
                         progress(index, tests[index].name)
+            for index, test in enumerate(tests):
+                _process_outcome(
+                    config, result, cache, obs_states, test, index,
+                    outcomes[index],
+                )
         else:
             for index, test in enumerate(tests):
                 try:
-                    outcomes[index] = _fuzz_worker(
-                        test,
-                        config.memory_variant,
-                        oracles_for(test),
-                        config.max_states,
-                        config.observe,
-                        config.cache_dir,
-                        config.trace_samples,
-                        config.seed,
-                    )
+                    outcome = _fuzz_worker(*worker_args(test))
                 except Exception as exc:
-                    outcomes[index] = _crash_outcome(exc)
+                    outcome = _crash_outcome(exc)
                 else:
                     if manifest is not None:
                         manifest.mark_done(str(index))
                 if progress is not None:
                     progress(index, test.name)
-
-    obs_states = []
-    for index in range(len(tests)):
-        test = tests[index]
-        outcome = outcomes[index]
-        result.tests_run += 1
-        if outcome["obs"] is not None:
-            obs_states.append(outcome["obs"])
-        if cache is not None and outcome.get("cache_stats"):
-            cache.stats.merge(outcome["cache_stats"])
-        if outcome["error"] is not None:
-            entry = {"test": test.name, "index": index, "error": outcome["error"]}
-            if outcome.get("crashed"):
-                entry["crashed"] = True
-                result.skipped["worker_crashed"] = (
-                    result.skipped.get("worker_crashed", 0) + 1
+                _process_outcome(
+                    config, result, cache, obs_states, test, index, outcome
                 )
-            result.oracle_errors.append(entry)
-            continue
-        summary = outcome["summary"]
-        result.verdicts[test.name] = summary
-        for oracle, message in summary.get("errors", {}).items():
-            result.oracle_errors.append(
-                {
-                    "test": test.name,
-                    "index": index,
-                    "oracle": oracle,
-                    "error": message,
-                }
-            )
-        if outcome["rtl_incomplete"]:
-            result.skipped["rtl_incomplete"] = (
-                result.skipped.get("rtl_incomplete", 0) + 1
-            )
-        trace_summary = summary.get("trace")
-        if trace_summary is not None and trace_summary["undrained"]:
-            result.skipped["trace_undrained"] = (
-                result.skipped.get("trace_undrained", 0)
-                + trace_summary["undrained"]
-            )
-        _tally(result.verdict_tally, summary)
-        for discrepancy in outcome["discrepancies"]:
-            discrepancy.seed = config.seed
-            discrepancy.index = index
-            result.discrepancies.append(
-                DiscrepancyEntry(
-                    discrepancy=discrepancy,
-                    test=test,
-                    memory_variant=config.memory_variant,
-                    verdicts=summary,
-                )
-            )
 
     if config.shrink and result.discrepancies:
         with obs.span("fuzz.shrink", limit=config.shrink_limit):

@@ -1,0 +1,204 @@
+"""Coverage-guided seed scheduling for the differential fuzzer.
+
+Blind fuzzing draws every test from the ``(seed, index)`` stream; past
+a few hundred tests most draws land in microarchitectural territory
+the campaign has already covered.  :class:`CoverageScheduler` closes
+the loop: tests whose evaluation reached *novel* coverage keys
+(reach-graph states and transitions, per
+:mod:`repro.obs.coverage`) enter an energy-weighted corpus, and a
+fraction of each subsequent batch is spent mutating corpus entries
+(:meth:`FuzzGenerator.mutate`) instead of drawing fresh ones —
+the SEER/AFL idiom adapted to litmus tests, where "executions" are
+whole verification problems and the feedback signal is the shared
+reach graph, not branch counters.
+
+Saturation is handled per shape family: a corpus entry whose mutants
+keep producing zero novelty accumulates *fatigue* on its
+:func:`~repro.obs.coverage.shape_key`, which geometrically
+deprioritizes the whole family so the energy does not pool on a
+exhausted neighbourhood.
+
+Determinism: every decision draws from a :class:`random.Random` seeded
+by position — ``sched:<seed>:<round>:<slot>`` for the mutate-or-fresh
+choice and parent selection, ``mutate:<seed>:<round>:<slot>:<attempt>``
+for the mutation itself — and feedback is applied in strict batch
+order by the runner, so a campaign's test stream is a pure function of
+``(seed, budget)``, independent of ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.litmus.test import LitmusTest
+from repro.obs.coverage import shape_key
+
+#: Probability a batch slot draws from the fresh ``(seed, index)``
+#: stream even when the corpus is non-empty (exploration floor — the
+#: scheduler must never starve genuinely new shapes).
+FRESH_PROB = 0.35
+
+#: Corpus entries kept live for mutation (lowest-energy evicted first).
+CORPUS_CAP = 48
+
+#: Per-fatigue-point multiplier on a family's selection weight.
+_FATIGUE_WEIGHT = 0.5
+
+#: Fatigue points after which a family's weight bottoms out.
+_FATIGUE_FLOOR = 6
+
+#: Mutation attempts per slot before falling back to a fresh draw.
+_MUTATE_ATTEMPTS = 32
+
+
+@dataclass
+class CorpusEntry:
+    """One energized seed: a test that reached novel coverage."""
+
+    test: LitmusTest
+    #: Accumulated novelty score (new states + transitions its runs
+    #: discovered); selection weight before fatigue.
+    energy: float
+    shape: str
+
+    def to_json(self) -> Dict:
+        return {"test": self.test.to_dict(), "energy": self.energy}
+
+
+class CoverageScheduler:
+    """Energy-scheduled batch generation over a novelty corpus."""
+
+    def __init__(self, generator, seed: int):
+        self.generator = generator
+        self.seed = seed
+        self._corpus: List[CorpusEntry] = []
+        self._by_name: Dict[str, CorpusEntry] = {}
+        #: Zero-novelty strikes per shape family.
+        self.fatigue: Dict[str, int] = {}
+        self._round = 0
+        self._next_index = 0
+        self._mutants = 0
+
+    # -- persistence ----------------------------------------------------
+
+    def load_corpus(self, entries: List[Dict]) -> None:
+        """Preload persisted corpus records (``CoverageDB`` corpus
+        shape: ``{"test": <dict>, "energy": <float>}``) so a resumed
+        campaign mutates last run's winners from batch one.  Records
+        that fail to rehydrate are skipped, never fatal."""
+        for record in entries:
+            try:
+                test = LitmusTest.from_dict(record["test"])
+                energy = float(record["energy"])
+            except (ReproError, KeyError, TypeError, ValueError):
+                continue
+            self._admit(test, energy)
+
+    def corpus_state(self) -> List[Dict]:
+        """JSON-safe corpus snapshot, highest energy first."""
+        ordered = sorted(
+            self._corpus, key=lambda e: (-e.energy, e.test.name)
+        )
+        return [entry.to_json() for entry in ordered]
+
+    # -- batch generation ----------------------------------------------
+
+    def next_batch(self, size: int) -> List[LitmusTest]:
+        """The next ``size`` tests: a deterministic mix of corpus
+        mutants and fresh ``(seed, index)`` stream draws."""
+        batch: List[LitmusTest] = []
+        rnd = self._round
+        for slot in range(size):
+            rng = random.Random(f"sched:{self.seed}:{rnd}:{slot}")
+            test: Optional[LitmusTest] = None
+            if self._corpus and rng.random() >= FRESH_PROB:
+                test = self._mutant(rnd, slot, rng)
+            if test is None:
+                test = self._fresh()
+            batch.append(test)
+        self._round += 1
+        return batch
+
+    def _fresh(self) -> LitmusTest:
+        test = self.generator.test_at(self._next_index)
+        self._next_index += 1
+        return test
+
+    def _mutant(
+        self, rnd: int, slot: int, rng: random.Random
+    ) -> Optional[LitmusTest]:
+        parent = self._pick_parent(rng)
+        if parent is None:
+            return None
+        for attempt in range(_MUTATE_ATTEMPTS):
+            mrng = random.Random(
+                f"mutate:{self.seed}:{rnd}:{slot}:{attempt}"
+            )
+            # Mutant names live in their own ``-m`` namespace, disjoint
+            # from the fresh stream's ``fz<seed>-<index>`` by design.
+            name = f"fz{self.seed}-m{self._mutants:05d}"
+            try:
+                test = self.generator.mutate(parent.test, name, mrng)
+            except ReproError:
+                continue
+            self._mutants += 1
+            return test
+        return None
+
+    def _pick_parent(self, rng: random.Random) -> Optional[CorpusEntry]:
+        weights = [self._weight(entry) for entry in self._corpus]
+        if not any(w > 0 for w in weights):
+            return None
+        return rng.choices(self._corpus, weights=weights)[0]
+
+    def _weight(self, entry: CorpusEntry) -> float:
+        strikes = min(self.fatigue.get(entry.shape, 0), _FATIGUE_FLOOR)
+        return max(entry.energy, 1.0) * (_FATIGUE_WEIGHT ** strikes)
+
+    # -- feedback -------------------------------------------------------
+
+    def feedback(self, test: LitmusTest, novelty: Dict[str, int]) -> None:
+        """Fold one evaluated test's per-domain novelty counts back in.
+
+        Energy is earned chiefly from the reach-graph domains (states +
+        transitions): those are the expensive-to-reach keys, and
+        weighting by them biases the corpus toward tests that grow the
+        explored microarchitectural space rather than merely novel
+        shapes.  Arbiter-interleaving novelty contributes at a quarter
+        weight so trace-only campaigns (no verifier oracle, hence no
+        graph domains) still build a corpus.  A fully-saturated result
+        strikes the test's shape family with fatigue."""
+        score = (
+            novelty.get("state", 0)
+            + novelty.get("transition", 0)
+            + 0.25 * novelty.get("arbiter", 0)
+        )
+        shape = shape_key(test)
+        if sum(novelty.values()) == 0:
+            self.fatigue[shape] = self.fatigue.get(shape, 0) + 1
+        else:
+            # Any novelty clears the family's strikes: the
+            # neighbourhood still pays out.
+            self.fatigue.pop(shape, None)
+        if score > 0:
+            self._admit(test, float(score))
+
+    def _admit(self, test: LitmusTest, energy: float) -> None:
+        existing = self._by_name.get(test.name)
+        if existing is not None:
+            existing.energy += energy
+            return
+        entry = CorpusEntry(test=test, energy=energy, shape=shape_key(test))
+        if len(self._corpus) >= CORPUS_CAP:
+            victim = min(
+                self._corpus, key=lambda e: (e.energy, e.test.name)
+            )
+            if victim.energy >= entry.energy:
+                return
+            self._corpus.remove(victim)
+            del self._by_name[victim.test.name]
+        self._corpus.append(entry)
+        self._by_name[test.name] = entry

@@ -10,9 +10,21 @@ write to the currently installed recorder (a no-op
 costs almost nothing when observability is off.
 """
 
+from repro.obs.coverage import (
+    COVERAGE_DOMAINS,
+    CoverageDB,
+    CoverageMap,
+    closure_report,
+    coverage_diff,
+    default_coverage_db_path,
+    render_closure,
+    saturation_curve,
+    validate_coverage_report,
+)
 from repro.obs.export import chrome_trace, write_chrome_trace
 from repro.obs.recorder import (
     NULL_RECORDER,
+    CoverageRecorder,
     NullRecorder,
     Span,
     TraceRecorder,
@@ -29,12 +41,17 @@ from repro.obs.report import (
     DIFFTEST_REPRODUCER_KIND,
     SCHEMA_VERSION,
     merge_counters,
+    merge_gauges,
     suite_report,
     validate_report,
     write_report,
 )
 
 __all__ = [
+    "COVERAGE_DOMAINS",
+    "CoverageDB",
+    "CoverageMap",
+    "CoverageRecorder",
     "DIFFTEST_REPORT_KIND",
     "DIFFTEST_REPRODUCER_KIND",
     "NULL_RECORDER",
@@ -43,15 +60,22 @@ __all__ = [
     "Span",
     "TraceRecorder",
     "chrome_trace",
+    "closure_report",
     "count",
+    "coverage_diff",
+    "default_coverage_db_path",
     "gauge",
     "get_recorder",
     "merge_counters",
+    "merge_gauges",
     "merge_states",
+    "render_closure",
+    "saturation_curve",
     "set_recorder",
     "span",
     "suite_report",
     "use_recorder",
+    "validate_coverage_report",
     "validate_report",
     "write_chrome_trace",
     "write_report",

@@ -13,7 +13,11 @@ The pipeline is instrumented with three primitives:
   process-pool workers by summation, so suite aggregates equal the sum
   of per-test counters regardless of job count.
 * **gauges** — named point-in-time values (graph sizes, NFA state
-  counts).  Gauges merge by taking the maximum.
+  counts).  Gauges merge by taking the maximum — summing point-in-time
+  values (peak frontier size, graph node counts) across workers would
+  fabricate a number no single process ever observed.  Gauges whose
+  name ends in ``.last`` instead merge by last-write in merge order,
+  for values where "most recent" is the meaningful aggregate.
 
 Two recorders implement the sink:
 
@@ -65,6 +69,10 @@ class NullRecorder:
     """Recorder that stores nothing (the disabled-observability path)."""
 
     enabled = False
+    #: Attached :class:`~repro.obs.coverage.CoverageMap`, or ``None``.
+    #: Collection sites test this attribute, so coverage costs one
+    #: attribute read when off.
+    coverage = None
 
     @contextmanager
     def span(self, name: str, **args) -> Iterator[Span]:
@@ -96,11 +104,14 @@ class TraceRecorder:
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self, coverage=None):
         self.t0 = time.perf_counter()
         self.events: List[Dict[str, Any]] = []
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
+        #: Optional :class:`~repro.obs.coverage.CoverageMap`; created
+        #: lazily by :meth:`merge_state` when a snapshot carries one.
+        self.coverage = coverage
         self._depth = 0
 
     # -- spans ----------------------------------------------------------
@@ -142,22 +153,64 @@ class TraceRecorder:
 
     def to_state(self) -> Dict[str, Any]:
         """A plain picklable snapshot of everything recorded."""
-        return {
+        state = {
             "events": list(self.events),
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
         }
+        if self.coverage is not None:
+            state["coverage"] = self.coverage.to_state()
+        return state
 
     def merge_state(self, state: Mapping[str, Any]) -> None:
         """Fold one :meth:`to_state` snapshot (typically from a worker
-        process) into this recorder: counters sum, gauges take the max,
-        spans append."""
+        process) into this recorder: counters sum, gauges take the max
+        (``.last``-suffixed gauges take the incoming value), coverage
+        maps sum per key, spans append."""
         self.events.extend(state.get("events", ()))
         for name, value in state.get("counters", {}).items():
             self.counters[name] = self.counters.get(name, 0) + value
         for name, value in state.get("gauges", {}).items():
             current = self.gauges.get(name)
-            self.gauges[name] = value if current is None else max(current, value)
+            if current is None or name.endswith(".last"):
+                self.gauges[name] = value
+            else:
+                self.gauges[name] = max(current, value)
+        coverage_state = state.get("coverage")
+        if coverage_state:
+            if self.coverage is None:
+                from repro.obs.coverage import CoverageMap
+
+                self.coverage = CoverageMap()
+            self.coverage.merge_state(coverage_state)
+
+
+class CoverageRecorder(NullRecorder):
+    """Coverage-only sink: spans/counters/gauges stay no-ops
+    (``enabled`` is False, so instrumented code skips its bookkeeping),
+    but collection sites that test ``recorder.coverage`` record into
+    the attached map.  This is what keeps ``--coverage`` without
+    ``--metrics`` under the observability overhead bar."""
+
+    def __init__(self, coverage=None):
+        if coverage is None:
+            from repro.obs.coverage import CoverageMap
+
+            coverage = CoverageMap()
+        self.coverage = coverage
+
+    def to_state(self) -> Dict[str, Any]:
+        return {
+            "events": [],
+            "counters": {},
+            "gauges": {},
+            "coverage": self.coverage.to_state(),
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        coverage_state = state.get("coverage")
+        if coverage_state:
+            self.coverage.merge_state(coverage_state)
 
 
 def merge_states(states: Iterable[Mapping[str, Any]]) -> TraceRecorder:

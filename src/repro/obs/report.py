@@ -24,7 +24,9 @@ import json
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 #: Version of both the report document and the ``to_dict`` snapshots.
-SCHEMA_VERSION = 1
+#: v2 added per-test ``gauges`` (max / ``.last``-merged) alongside the
+#: summed counters.
+SCHEMA_VERSION = 2
 
 #: Top-level keys every report must carry.
 _REPORT_KEYS = (
@@ -51,6 +53,7 @@ _AGGREGATE_KEYS = (
     "modeled_hours_total",
     "wall_seconds_total",
     "counters",
+    "gauges",
 )
 
 REPORT_KIND = "rtlcheck-run-report"
@@ -71,6 +74,22 @@ def merge_counters(test_dicts: Iterable[Mapping[str, Any]]) -> Dict[str, float]:
         for name, value in test.get("counters", {}).items():
             totals[name] = totals.get(name, 0) + value
     return totals
+
+
+def merge_gauges(test_dicts: Iterable[Mapping[str, Any]]) -> Dict[str, float]:
+    """Merge the per-test gauge maps into suite values: max by default,
+    last-write (in iteration order) for ``.last``-suffixed names — the
+    same semantics :meth:`TraceRecorder.merge_state` applies to worker
+    snapshots, so suite aggregates match regardless of job count."""
+    merged: Dict[str, float] = {}
+    for test in test_dicts:
+        for name, value in test.get("gauges", {}).items():
+            current = merged.get(name)
+            if current is None or name.endswith(".last"):
+                merged[name] = value
+            else:
+                merged[name] = max(current, value)
+    return merged
 
 
 def _aggregates(test_dicts: List[Mapping[str, Any]]) -> Dict[str, Any]:
@@ -96,6 +115,7 @@ def _aggregates(test_dicts: List[Mapping[str, Any]]) -> Dict[str, Any]:
         "modeled_hours_total": sum(t["modeled_hours"] for t in test_dicts),
         "wall_seconds_total": sum(t["wall_seconds"] for t in test_dicts),
         "counters": merge_counters(test_dicts),
+        "gauges": merge_gauges(test_dicts),
     }
 
 
@@ -105,6 +125,7 @@ def suite_report(
     memory_variant: Optional[str] = None,
     jobs: Optional[int] = None,
     cache: Optional[Mapping[str, float]] = None,
+    coverage: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the run report for ``results`` (name ->
     :class:`~repro.core.results.TestVerification`, as returned by
@@ -135,6 +156,10 @@ def suite_report(
     }
     if cache is not None:
         report["cache"] = dict(cache)
+    if coverage is not None:
+        # The closure report document; like "cache", it lives outside
+        # ``aggregates`` and the aggregate-equals-sum invariant.
+        report["coverage"] = dict(coverage)
     return report
 
 
@@ -168,7 +193,7 @@ def validate_report(report: Mapping[str, Any]) -> List[str]:
         got, want = aggregates[key], expected[key]
         if isinstance(want, float):
             ok = abs(got - want) <= 1e-9 * max(1.0, abs(want))
-        elif key == "counters":
+        elif key in ("counters", "gauges"):
             ok = dict(got) == dict(want)
         elif key == "modeled_hours_per_test":
             ok = set(got) == set(want) and all(

@@ -261,6 +261,15 @@ class Design:
             return 0
         return len(self._interner)
 
+    def state_vector(self, state: Hashable) -> Optional[Tuple[int, ...]]:
+        """The flat slot vector behind an array-backend snapshot id, or
+        ``None`` on the dict backend (where snapshots carry their own
+        structure).  Coverage signatures digest this vector so state
+        identity is stable across runs and interning orders."""
+        if self.state_backend == "array":
+            return self._interner.state(state)
+        return None
+
     # -- batched expansion ---------------------------------------------
 
     def step_batch(

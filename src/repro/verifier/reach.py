@@ -120,6 +120,18 @@ class ReachGraph:
         """Design states whose transitions have been simulated."""
         return sum(1 for edges in self._edges if edges is not None)
 
+    def iter_edges(self):
+        """Yield ``(src, dst)`` node-id pairs over every expanded,
+        non-pruned transition — the coverage layer's walk.  Unexpanded
+        nodes are skipped, not expanded: coverage reports what a run
+        actually explored."""
+        for src, edges in enumerate(self._edges):
+            if edges is None:
+                continue
+            for edge in edges:
+                if edge is not None:
+                    yield src, edge[1]
+
     def successors(self, node: int) -> List[Edge]:
         """Per-input transitions of ``node``, simulated once then cached."""
         edges = self._edges[node]

@@ -23,8 +23,8 @@ grant per cycle it is active, so the harvest is deterministic in
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, Hashable, List
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
 
 from repro.litmus.test import LitmusTest, compile_test
 from repro.memodel.polycheck import Trace
@@ -54,6 +54,10 @@ class Harvest:
     sampled: int
     undrained: int
     cycles: int
+    #: Arbiter-grant interleaving n-gram counts
+    #: (:func:`repro.obs.coverage.grant_ngrams`) when the harvest was
+    #: asked to collect them; ``None`` otherwise.
+    grant_ngrams: Optional[Dict[str, int]] = field(default=None)
 
 
 def harvest_traces(
@@ -62,8 +66,14 @@ def harvest_traces(
     samples: int = DEFAULT_SAMPLES,
     seed: int = 0,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    collect_grants: bool = False,
 ) -> Harvest:
-    """Sample ``samples`` randomized executions of ``test`` on the RTL."""
+    """Sample ``samples`` randomized executions of ``test`` on the RTL.
+
+    ``collect_grants=True`` additionally records each schedule's grant
+    sequence and folds them into coverage n-grams
+    (``Harvest.grant_ngrams``); the grants drawn are identical either
+    way, so collection cannot perturb the sampled outcomes."""
     compiled = compile_test(test)
     design = MultiVScale(compiled, memory_variant)
     design.reset()
@@ -76,6 +86,9 @@ def harvest_traces(
     states: List[Hashable] = [start] * samples
     active = [True] * samples
     finals: List[Hashable] = [None] * samples
+    grants: Optional[List[List[int]]] = (
+        [[] for _ in range(samples)] if collect_grants else None
+    )
 
     drained_memo: Dict[Hashable, bool] = {}
 
@@ -104,6 +117,8 @@ def harvest_traces(
             edges = design.step_batch(state, input_space, lambda frame, n: True)
             for i in members:
                 grant = rngs[i].randrange(len(input_space))
+                if grants is not None:
+                    grants[i].append(grant)
                 states[i] = edges[grant][1]
         cycles += 1
 
@@ -126,6 +141,15 @@ def harvest_traces(
         if trace not in seen_traces:
             seen_traces.add(trace)
             traces.append(trace)
+    ngrams = None
+    if grants is not None:
+        from repro.obs.coverage import grant_ngrams
+
+        ngrams = grant_ngrams(grants)
     return Harvest(
-        traces=traces, sampled=samples, undrained=undrained, cycles=cycles
+        traces=traces,
+        sampled=samples,
+        undrained=undrained,
+        cycles=cycles,
+        grant_ngrams=ngrams,
     )

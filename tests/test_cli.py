@@ -330,3 +330,194 @@ class TestCacheCLI:
         assert "cache: verdict 0/2 hits" in capsys.readouterr().out
         assert main(["suite", "--only", "mp", "sb"]) == 0
         assert "cache: verdict 2/2 hits" in capsys.readouterr().out
+
+
+class TestCoverageCLI:
+    """The ``--coverage`` surface and the ``coverage`` subcommand.
+
+    The autouse conftest fixture gives every test a private
+    ``$REPRO_CACHE_DIR``, so the default database path lands in a
+    temporary directory.
+    """
+
+    def _metrics_tail(self, capsys, jobs):
+        assert (
+            main(
+                [
+                    "suite",
+                    "--only",
+                    "mp",
+                    "sb",
+                    "lb",
+                    "--metrics",
+                    "--coverage",
+                    "--no-cache",
+                    "--jobs",
+                    str(jobs),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # Everything from the counters header on is the deterministic
+        # machine-facing tail: counters, gauges, closure summary.
+        return out[out.index("counters:") :]
+
+    def test_metrics_output_byte_stable_across_jobs(self, capsys):
+        serial = self._metrics_tail(capsys, 1)
+        parallel = self._metrics_tail(capsys, 2)
+        assert serial == parallel
+        assert "coverage.state.keys" in serial
+        assert "\ngauges:\n" in serial
+        assert "coverage closure:" in serial
+
+    def test_verify_coverage_prints_closure(self, capsys):
+        assert main(["verify", "mp", "--coverage", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage closure:" in out
+        assert "transition" in out
+
+    def test_suite_coverage_report_file_and_db(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_coverage_report
+        from repro.obs.coverage import default_coverage_db_path
+
+        closure_path = tmp_path / "closure.json"
+        assert (
+            main(
+                [
+                    "suite",
+                    "--only",
+                    "mp",
+                    "sb",
+                    "--coverage-report",
+                    str(closure_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "coverage database updated:" in out
+        closure = json.loads(closure_path.read_text())
+        assert validate_coverage_report(closure) == []
+        assert closure["tests"] == 2
+        # --coverage-report implied --coverage; the run report's suite
+        # database landed at the cache-derived default path.
+        import os
+
+        assert os.path.exists(default_coverage_db_path())
+
+    def test_report_embeds_closure(self, tmp_path):
+        import json
+
+        report_path = tmp_path / "r.json"
+        assert (
+            main(
+                [
+                    "suite",
+                    "--only",
+                    "mp",
+                    "--coverage",
+                    "--no-cache",
+                    "--report",
+                    str(report_path),
+                ]
+            )
+            == 0
+        )
+        report = json.loads(report_path.read_text())
+        assert report["coverage"]["kind"] == "rtlcheck-coverage-report"
+
+    def test_coverage_report_diff_merge_roundtrip(self, tmp_path, capsys):
+        closure_a = tmp_path / "a.json"
+        closure_b = tmp_path / "b.json"
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--seed",
+                    "5",
+                    "--budget",
+                    "6",
+                    "--oracles",
+                    "operational",
+                    "axiomatic",
+                    "--no-shrink",
+                    "--coverage-report",
+                    str(closure_a),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--seed",
+                    "6",
+                    "--budget",
+                    "6",
+                    "--oracles",
+                    "operational",
+                    "axiomatic",
+                    "--no-shrink",
+                    "--coverage-report",
+                    str(closure_b),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "(+" in out and "new)" in out  # novelty progress column
+        assert main(["coverage", "report"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage database:" in out
+        assert "campaigns merged: 2" in out
+        assert main(["coverage", "diff", str(closure_a), str(closure_b)]) == 0
+        assert "new in other" in capsys.readouterr().out
+        merged_db = tmp_path / "merged.json"
+        assert (
+            main(
+                [
+                    "coverage",
+                    "merge",
+                    str(closure_a),
+                    str(closure_b),
+                    "--into",
+                    str(merged_db),
+                ]
+            )
+            == 0
+        )
+        assert "merged 2 document(s)" in capsys.readouterr().out
+        assert main(["coverage", "report", "--db", str(merged_db)]) == 0
+        assert "shape" in capsys.readouterr().out
+
+    def test_coverage_diff_rejects_non_coverage_document(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        with pytest.raises(SystemExit):
+            main(["coverage", "diff", str(bogus), str(bogus)])
+        assert "not a coverage database" in capsys.readouterr().err
+
+    def test_guided_fuzz_cli(self, capsys):
+        assert (
+            main(
+                [
+                    "fuzz",
+                    "--seed",
+                    "5",
+                    "--budget",
+                    "8",
+                    "--oracles",
+                    "operational",
+                    "axiomatic",
+                    "--no-shrink",
+                    "--guided",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "scheduler: coverage-guided" in out

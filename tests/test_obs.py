@@ -94,6 +94,33 @@ class TestRecorder:
         assert merged.counters == {"hits": 7, "misses": 1}
         assert merged.gauges == {"states": 10}
 
+    def test_merge_state_gauge_semantics_pinned(self):
+        # Gauges are level samples, not increments: merging worker
+        # snapshots must never sum them.  Plain gauges take the max
+        # across workers; ``.last``-suffixed gauges take the value from
+        # the latest snapshot merged (in merge order).
+        a, b = TraceRecorder(), TraceRecorder()
+        a.gauge("depth", 10)
+        a.gauge("phase.last", 1)
+        b.gauge("depth", 7)
+        b.gauge("phase.last", 2)
+        merged = merge_states([a.to_state(), b.to_state()])
+        assert merged.gauges["depth"] == 10  # max, not 17
+        assert merged.gauges["phase.last"] == 2  # last write wins
+        reversed_merge = merge_states([b.to_state(), a.to_state()])
+        assert reversed_merge.gauges["depth"] == 10
+        assert reversed_merge.gauges["phase.last"] == 1
+
+    def test_merge_gauges_matches_recorder_merge(self):
+        from repro.obs import merge_gauges
+
+        states = [
+            {"gauges": {"depth": 4, "phase.last": 1}},
+            {"gauges": {"depth": 9, "phase.last": 3}},
+            {"gauges": {"depth": 2}},
+        ]
+        assert merge_gauges(states) == {"depth": 9, "phase.last": 3}
+
     def test_state_is_json_safe(self):
         recorder = TraceRecorder()
         with recorder.span("phase", test="mp"):

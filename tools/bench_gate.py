@@ -53,6 +53,7 @@ REACHGRAPH_VARIANTS = ("fixed", "buggy")
 SIMULATION_TESTS = ("mp", "iwp24")
 SIMULATION_SCHEDULES = 600
 DIFFTEST_TESTS = ("mp", "sb", "iwp24", "iriw", "amd3")
+COVERAGE_TESTS = ("mp", "sb", "iwp24")
 POLYCHECK_TESTS = ("mp", "sb", "iriw")
 POLYCHECK_SAMPLES = 8
 POLYCHECK_LONG_THREAD_OPS = 16
@@ -153,11 +154,29 @@ def _bench_polycheck() -> None:
     trace_verdicts(_polycheck_long_test(), "fixed", samples=POLYCHECK_SAMPLES)
 
 
+def _bench_coverage() -> None:
+    """End-to-end verification with coverage maps on (uncached).
+
+    Gates the cost of microarchitectural coverage collection: the
+    per-test reach-graph walk, slot-vector signature hashing, and
+    shape/assumption key extraction all ride this metric, so a
+    collection-path regression shows up here even while the plain
+    verification metrics stay flat.  The absolute <3% overhead bar
+    lives in ``benchmarks/test_bench_coverage.py``.
+    """
+    from repro import RTLCheck, get_test
+
+    rtlcheck = RTLCheck(coverage=True)
+    for name in COVERAGE_TESTS:
+        rtlcheck.verify_test(get_test(name), "fixed")
+
+
 METRICS: Dict[str, Callable[[], None]] = {
     "reachgraph_build": _bench_reachgraph,
     "simulation": _bench_simulation,
     "difftest": _bench_difftest,
     "polycheck": _bench_polycheck,
+    "coverage_overhead": _bench_coverage,
 }
 
 
