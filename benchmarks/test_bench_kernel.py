@@ -1,0 +1,159 @@
+"""Benchmark: compiled per-design step kernels vs the array interpreter.
+
+The kernel backend keeps the array backend's interned slot vectors but
+replaces the interpreted restore/eval/tick protocol with a per-design
+compiled step: a closure-compiled straight-line function over the flat
+slot vector, a fused compiled assumption check for graph expansion, and
+a memoized per-(state, first) transition replay for random-schedule
+simulation.
+
+Two workloads, kernel vs array, with identical graphs/reports asserted
+so the speedup is a pure execution-strategy win:
+
+* **ReachGraph build** over the full 56-test suite, measured twice:
+  a *cold* pass that pays every kernel compilation, and a *warm* pass
+  riding the process-global compile caches (what any campaign that
+  touches a design shape more than once sees).  The warm structural
+  ceiling is modest (~1.7x over 56 small graphs, ~2.5x on the larger
+  bench-gate shapes): per-node frame dicts, vector interning, and
+  graph bookkeeping all survive compilation, so the compiled step only
+  removes the eval/tick interpreter.  The issue's 10x reachgraph
+  target is not reachable on this workload without changing what the
+  graph records; ``docs/performance.md`` has the breakdown.
+* **random-schedule simulation** — the memoized kernel path replays
+  previously seen (state, first) transitions without re-stepping,
+  which is where the order-of-magnitude win lives (>10x measured).
+"""
+
+import time
+
+from conftest import save_table
+
+from repro.litmus import compile_test
+from repro.mapping import MultiVScaleProgramMapping
+from repro.sva import AssumptionChecker
+from repro.verifier.reach import ReachGraph
+from repro.verifier.simulation import simulate_check
+from repro.vscale.soc import MultiVScale
+
+REACH_WARM_SPEEDUP_FLOOR = 1.3
+SIM_SPEEDUP_FLOOR = 8.0
+SIM_TESTS = ("mp", "iwp24")
+SIM_SCHEDULES = 600
+
+
+def _build(compiled, assumptions, backend):
+    design = MultiVScale(compiled, "fixed", state_backend=backend)
+    graph = ReachGraph(design, AssumptionChecker(assumptions))
+    frontier = [graph.root]
+    seen = {graph.root}
+    while frontier:
+        node = frontier.pop()
+        for _index, _inputs, _frame, child in graph.live_successors(node):
+            if child not in seen:
+                seen.add(child)
+                frontier.append(child)
+    return graph, design
+
+
+def test_kernel_backend_speedup(suite, results_dir):
+    compiled_tests = [(test.name, compile_test(test)) for test in suite]
+    assumption_sets = {
+        name: MultiVScaleProgramMapping(compiled).all_assumptions()
+        for name, compiled in compiled_tests
+    }
+
+    reach_totals = {}
+    reach_stats = {}
+    for backend in ("array", "kernel"):
+        for phase in ("cold", "warm"):
+            seconds = 0.0
+            nodes = 0
+            transitions = 0
+            for name, compiled in compiled_tests:
+                start = time.perf_counter()
+                graph, _design = _build(
+                    compiled, assumption_sets[name], backend
+                )
+                seconds += time.perf_counter() - start
+                nodes += graph.num_nodes
+                transitions += graph.sim_transitions
+            reach_totals[(backend, phase)] = seconds
+            reach_stats[backend] = (nodes, transitions)
+
+    assert reach_stats["kernel"] == reach_stats["array"]
+
+    sim_totals = {}
+    sim_reports = {}
+    for backend in ("array", "kernel"):
+        seconds = 0.0
+        reports = []
+        for name, compiled in compiled_tests:
+            if name not in SIM_TESTS:
+                continue
+            mapping = MultiVScaleProgramMapping(compiled)
+            design = MultiVScale(compiled, "fixed", state_backend=backend)
+            start = time.perf_counter()
+            report = simulate_check(
+                design,
+                mapping.all_assumptions(),
+                [],
+                num_schedules=SIM_SCHEDULES,
+                max_cycles=60,
+            )
+            seconds += time.perf_counter() - start
+            reports.append(
+                (report.schedules_run, report.cycles_simulated,
+                 report.violations)
+            )
+        sim_totals[backend] = seconds
+        sim_reports[backend] = reports
+
+    assert sim_reports["kernel"] == sim_reports["array"]
+
+    cold_speedup = (
+        reach_totals[("array", "cold")] / reach_totals[("kernel", "cold")]
+    )
+    warm_speedup = (
+        reach_totals[("array", "warm")] / reach_totals[("kernel", "warm")]
+    )
+    sim_speedup = sim_totals["array"] / sim_totals["kernel"]
+    nodes, transitions = reach_stats["kernel"]
+    lines = [
+        "Compiled step kernels: kernel backend vs array interpreter",
+        "",
+        "ReachGraph build, 56 tests, fixed design:",
+        f"{'backend':14s} {'cold':>8s} {'warm':>8s}",
+        f"{'array':14s} {reach_totals[('array', 'cold')]:>7.2f}s"
+        f" {reach_totals[('array', 'warm')]:>7.2f}s",
+        f"{'kernel':14s} {reach_totals[('kernel', 'cold')]:>7.2f}s"
+        f" {reach_totals[('kernel', 'warm')]:>7.2f}s",
+        f"cold speedup: {cold_speedup:.2f}x (56 one-shot kernel compiles)",
+        f"warm speedup: {warm_speedup:.2f}x "
+        f"(floor: {REACH_WARM_SPEEDUP_FLOOR:.1f}x; compile caches hot)",
+        f"graph nodes (identical both backends): {nodes}",
+        f"logical transitions (identical both backends): {transitions}",
+        "",
+        f"Random-schedule simulation, {SIM_SCHEDULES} schedules x "
+        f"{len(SIM_TESTS)} tests:",
+        f"{'backend':14s} {'wall':>8s}",
+        f"{'array':14s} {sim_totals['array']:>7.2f}s",
+        f"{'kernel':14s} {sim_totals['kernel']:>7.2f}s",
+        f"speedup: {sim_speedup:.2f}x (floor: {SIM_SPEEDUP_FLOOR:.0f}x)",
+        "",
+        "Graph builds keep per-node frame dicts, interning, and graph",
+        "bookkeeping on both backends, so compilation only removes the",
+        "eval/tick interpreter — a structural ceiling of roughly 2x on",
+        "these graph sizes (see docs/performance.md).  Simulation",
+        "additionally memoizes each (state, first) transition, replaying",
+        "revisited states without re-stepping: that is where the",
+        "order-of-magnitude win lives.",
+    ]
+    save_table(results_dir, "kernel.txt", "\n".join(lines))
+
+    assert warm_speedup >= REACH_WARM_SPEEDUP_FLOOR, (
+        f"kernel warm reachgraph speedup {warm_speedup:.2f}x below floor"
+    )
+    assert sim_speedup >= SIM_SPEEDUP_FLOOR, (
+        f"kernel simulation speedup {sim_speedup:.2f}x below floor"
+    )

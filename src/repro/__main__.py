@@ -115,11 +115,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--state-backend",
-        choices=["array", "dict"],
+        choices=["array", "kernel", "dict"],
         default="array",
         help="design snapshot representation: interned flat slot "
-        "vectors with batched expansion (default) or the original "
-        "nested-tuple snapshots (the equivalence reference)",
+        "vectors with batched expansion (default), compiled per-design "
+        "step kernels over the same vectors ('kernel'), or the "
+        "original nested-tuple snapshots (the equivalence reference)",
     )
     parser.add_argument(
         "--report",
@@ -326,6 +327,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="coverage database to merge the campaign into (default: "
         "<cache root>/coverage/coverage.json when caching is on)",
+    )
+    fuzz.add_argument(
+        "--state-backend",
+        choices=["array", "kernel", "dict"],
+        default="array",
+        help="design snapshot representation the RTL-touching oracles "
+        "use (backends are verdict-equivalent; reports are "
+        "byte-identical across them)",
     )
     _add_cache_flags(fuzz)
 
@@ -651,6 +660,7 @@ def cmd_fuzz(args) -> int:
         coverage=coverage,
         guided=args.guided,
         coverage_db=args.coverage_db,
+        state_backend=args.state_backend,
     )
     total = config.budget
     done = [0]

@@ -178,10 +178,11 @@ def verdict_key(
     """Key of one :class:`TestVerification` — the full input closure of
     :meth:`RTLCheck.verify_test`.
 
-    ``state_backend`` is keyed even though the two backends produce
+    ``state_backend`` is keyed even though the backends produce
     identical verdicts by contract: their obs counters differ
-    (``state.*`` exists only under ``array``), and an entry must replay
-    exactly what its backend would compute.
+    (``state.*`` exists only on the vector backends, ``kernel.*`` only
+    under ``kernel``), and an entry must replay exactly what its
+    backend would compute.
     """
     return digest_payload(
         {

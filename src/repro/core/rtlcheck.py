@@ -39,6 +39,7 @@ from repro.errors import ReproError
 from repro.litmus.test import CompiledTest, LitmusTest, compile_test
 from repro.mapping.node_mapping import MultiVScaleNodeMapping
 from repro.mapping.program_mapping import MultiVScaleProgramMapping
+from repro.rtl.design import VECTOR_BACKENDS
 from repro.sva.ast import Directive
 from repro.sva.emit import emit_sva_file
 from repro.sva.monitor import AssumptionChecker, PropertyMonitor
@@ -123,10 +124,10 @@ class RTLCheck:
         cache=None,
         state_backend: str = "array",
     ):
-        if state_backend not in ("array", "dict"):
+        if state_backend not in ("array", "dict", "kernel"):
             raise ReproError(
                 f"unknown state backend {state_backend!r}; "
-                "choose 'array' or 'dict'"
+                "choose 'array', 'kernel', or 'dict'"
             )
         self.model = model or multi_vscale_model()
         self.config = config
@@ -433,12 +434,19 @@ class RTLCheck:
         example Multi-V-scale-TSO, whose store buffers are
         variable-size) is a silent no-op: the design keeps its dict
         snapshots and every explorer takes the classic path.
+        Requesting ``"kernel"`` on a design without a compiled step
+        path likewise degrades gracefully — to ``array`` when the
+        design declares a slot layout, else ``dict``
+        (:meth:`~repro.rtl.design.Design.enable_kernel_state`).
         """
         backend = getattr(design, "state_backend", None)
         if self.state_backend == "dict":
-            if backend == "array":
+            if backend in VECTOR_BACKENDS:
                 design.disable_array_state()
-        elif backend == "dict" and hasattr(design, "enable_array_state"):
+        elif self.state_backend == "kernel":
+            if backend != "kernel" and hasattr(design, "enable_kernel_state"):
+                design.enable_kernel_state()
+        elif backend != "array" and hasattr(design, "enable_array_state"):
             design.enable_array_state()
 
     def _monitor(self, directive: Directive) -> PropertyMonitor:
@@ -509,14 +517,18 @@ class RTLCheck:
             # The graph explorer simulates exclusively through the
             # graph's design (a warm-loaded graph carries its own).
             design = graph.design
-        if (
-            recorder is not None
-            and recorder.enabled
-            and getattr(design, "state_backend", "dict") == "array"
-        ):
+        backend = getattr(design, "state_backend", "dict")
+        if recorder is not None and recorder.enabled and backend in VECTOR_BACKENDS:
             recorder.count("state.states_interned", design.states_interned)
             recorder.count("state.batch_expansions", design.batch_expansions)
             recorder.count("state.slots_copied", design.slots_copied)
+            if backend == "kernel":
+                recorder.count(
+                    "kernel.batched_steps", design.kernel_batched_steps
+                )
+                recorder.count(
+                    "kernel.compile_seconds", design.kernel_compile_seconds
+                )
         if graph is None:
             return
         result.graph_build_seconds = graph.build_seconds

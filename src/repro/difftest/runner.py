@@ -81,6 +81,12 @@ class FuzzConfig:
     #: directory's ``coverage/coverage.json`` when a cache is attached;
     #: without either, the campaign map is not persisted.
     coverage_db: Optional[str] = None
+    #: Design snapshot representation the RTL-touching oracles use
+    #: (``"array"``, ``"kernel"``, or ``"dict"``).  Backends are
+    #: verdict-equivalent by contract, so reports are byte-identical
+    #: across them; the knob exists for performance and for the
+    #: kernel-equivalence regression suite.
+    state_backend: str = "array"
 
     def __post_init__(self):
         if self.budget < 0:
@@ -110,6 +116,11 @@ class FuzzConfig:
             raise ReproError(
                 "guided scheduling requires coverage collection "
                 "(pass coverage=True / --coverage)"
+            )
+        if self.state_backend not in ("array", "kernel", "dict"):
+            raise ReproError(
+                f"unknown state backend {self.state_backend!r}; "
+                "choose 'array', 'kernel', or 'dict'"
             )
 
 
@@ -197,6 +208,7 @@ def _fuzz_worker(
     trace_samples=DEFAULT_TRACE_SAMPLES,
     trace_seed=0,
     coverage=False,
+    state_backend="array",
 ):
     """Module-level task body for the fuzz process pool: evaluate one
     test, cross-check, and ship everything picklable back (including
@@ -231,6 +243,7 @@ def _fuzz_worker(
                     cache=cache,
                     trace_samples=trace_samples,
                     trace_seed=trace_seed,
+                    state_backend=state_backend,
                 )
         else:
             verdicts = evaluate_oracles(
@@ -241,6 +254,7 @@ def _fuzz_worker(
                 cache=cache,
                 trace_samples=trace_samples,
                 trace_seed=trace_seed,
+                state_backend=state_backend,
             )
     except ReproError as exc:
         return {
@@ -531,6 +545,8 @@ def run_fuzz(
             campaign_payload["coverage"] = True
         if config.guided:
             campaign_payload["guided"] = True
+        if config.state_backend != "array":
+            campaign_payload["state_backend"] = config.state_backend
         campaign = cache_keys.campaign_key("fuzz", campaign_payload)
         manifest = cache.checkpoint(campaign, total=config.budget)
         result.resumed = manifest.resumed
@@ -570,6 +586,7 @@ def run_fuzz(
             config.trace_samples,
             config.seed,
             config.coverage,
+            config.state_backend,
         )
 
     obs_states: List[Dict] = []
@@ -659,6 +676,7 @@ def _shrink_entries(config: FuzzConfig, result: FuzzResult) -> None:
             max_states=config.max_states,
             trace_samples=config.trace_samples,
             trace_seed=config.seed,
+            state_backend=config.state_backend,
         )
         try:
             minimized, stats = shrink_test(

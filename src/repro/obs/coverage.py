@@ -160,15 +160,17 @@ class CoverageMap:
 def state_signature(design, snap) -> str:
     """A run-stable signature for one design snapshot.
 
-    On the array backend the snapshot is an interner id; the signature
+    On the vector backends (array and kernel share one flat-slot
+    representation) the snapshot is an interner id; the signature
     digests the packed flat slot vector, so equal physical states hash
-    equal across runs regardless of interning order.  On the dict
-    backend (or any non-packable vector) the signature digests the
-    snapshot's ``repr`` — still deterministic, but a different key
-    space, so campaigns should not mix backends.
+    equal across runs — and across those two backends — regardless of
+    interning order.  On the dict backend (or any non-packable vector)
+    the signature digests the snapshot's ``repr`` — still
+    deterministic, but a different key space, so campaigns should not
+    mix it with the vector backends.
     """
     data = None
-    if getattr(design, "state_backend", "dict") == "array":
+    if getattr(design, "state_backend", "dict") in ("array", "kernel"):
         vector = design.state_vector(snap)
         if vector is not None:
             try:

@@ -15,7 +15,7 @@ Designs also expose :meth:`Design.snapshot` / :meth:`Design.restore`,
 returning hashable states; the property verifier uses these for
 explicit-state exploration with deduplication.
 
-Two state backends implement that protocol (``docs/performance.md``):
+Three state backends implement that protocol (``docs/performance.md``):
 
 * ``dict`` — the original nested-tuple snapshots, built by each
   subclass's :meth:`Design.snapshot_state` / :meth:`Design.restore_state`
@@ -26,6 +26,12 @@ Two state backends implement that protocol (``docs/performance.md``):
   :class:`StateInterner`, so a snapshot is just a dense integer id and
   ``restore()`` a bulk slot copy.  Enabled via
   :meth:`Design.enable_array_state` on designs that provide a layout.
+* ``kernel`` — the array representation plus a compiled per-design
+  step function (:mod:`repro.rtl.kernel`) that maps slot vector to
+  successor slot vector without touching the design object at all.
+  Enabled via :meth:`Design.enable_kernel_state` on designs that
+  implement :meth:`Design.build_step_kernel`; falls back to the array
+  backend otherwise.  Bit-identical to the interpreter by contract.
 
 On top of either backend, :meth:`Design.step_batch` expands *all* free
 input choices of one state in a single call; designs whose settled
@@ -40,6 +46,7 @@ every combination, a simulator picks one per cycle.
 from __future__ import annotations
 
 import itertools
+import time
 from array import array
 from typing import (
     Callable,
@@ -54,7 +61,10 @@ from typing import (
 )
 
 from repro import obs
-from repro.errors import RtlError
+from repro.errors import ReproError, RtlError
+
+#: Backends whose snapshots are interned flat slot vectors.
+VECTOR_BACKENDS = ("array", "kernel")
 
 #: A settled cycle's signal values.
 Frame = Dict[str, int]
@@ -156,10 +166,25 @@ class StateInterner:
         flat = array("q")
         flat.frombytes(data["packed"])
         width, count = data["width"], data["count"]
-        self._states = [
+        if len(flat) != width * count:
+            raise ReproError(
+                f"corrupt StateInterner pickle: {len(flat)} packed slots "
+                f"cannot hold {count} states of width {width}"
+            )
+        states = [
             tuple(flat[i * width:(i + 1) * width]) for i in range(count)
         ]
-        self._ids = {state: sid for sid, state in enumerate(self._states)}
+        ids = {state: sid for sid, state in enumerate(states)}
+        if len(ids) != len(states):
+            # A duplicate vector would silently renumber every later id
+            # (the dict keeps only the last), breaking the dense-id
+            # invariant each consumer's node numbering relies on.
+            raise ReproError(
+                "corrupt StateInterner pickle: duplicate state vectors "
+                "would silently renumber interned ids"
+            )
+        self._states = states
+        self._ids = ids
 
 
 #: ``frame_hook(frame, repeats) -> keep``: called by ``step_batch`` once
@@ -168,18 +193,27 @@ class StateInterner:
 FrameHook = Callable[[Frame, int], bool]
 
 
+def _keep_all(frame: Frame, repeats: int) -> bool:
+    return True
+
+
 class Design:
     """Base class for simulatable designs. Subclasses implement the
     two-phase protocol plus snapshot/restore (directly, or via the
     ``snapshot_state``/``restore_state`` + slot-layout backends)."""
 
-    #: Active snapshot representation: ``"dict"`` (nested tuples) or
-    #: ``"array"`` (interned flat vectors, see module docstring).
+    #: Active snapshot representation: ``"dict"`` (nested tuples),
+    #: ``"array"`` (interned flat vectors), or ``"kernel"`` (interned
+    #: flat vectors stepped by compiled code — see module docstring).
     state_backend = "dict"
-    #: Slots moved through the flat buffer (array backend only).
+    #: Slots moved through the flat buffer (vector backends only).
     slots_copied = 0
     #: ``step_batch`` calls that shared one settled evaluation.
     batch_expansions = 0
+    #: Calls that went through the compiled kernel (kernel backend).
+    kernel_batched_steps = 0
+    #: Wall seconds spent compiling the step kernel.
+    kernel_compile_seconds = 0.0
 
     def reset(self) -> None:
         raise NotImplementedError
@@ -196,7 +230,7 @@ class Design:
     # -- state protocol ------------------------------------------------
 
     def snapshot(self) -> Hashable:
-        if self.state_backend == "array":
+        if self.state_backend in VECTOR_BACKENDS:
             buf = self._slot_buf
             self.write_slots(buf)
             self.slots_copied += len(buf)
@@ -204,7 +238,7 @@ class Design:
         return self.snapshot_state()
 
     def restore(self, state: Hashable) -> None:
-        if self.state_backend == "array":
+        if self.state_backend in VECTOR_BACKENDS:
             vec = self._interner.state(state)
             self.read_slots(vec)
             self.slots_copied += len(vec)
@@ -254,21 +288,90 @@ class Design:
         """Fall back to the dict backend (``snapshot_state`` et al.)."""
         self.state_backend = "dict"
 
+    # -- kernel backend (opt-in per design, see repro.rtl.kernel) ------
+
+    def build_step_kernel(self):
+        """Compile and return this design's
+        :class:`~repro.rtl.kernel.StepKernel`, or ``None`` when the
+        design has no compiled step path.  Called with the slot layout
+        already bound (array backend enabled)."""
+        return None
+
+    def enable_kernel_state(self) -> bool:
+        """Switch to the compiled-kernel backend; returns False when
+        the design supports no kernel.  On False the design is left on
+        the best backend it does support (array when it declares a slot
+        layout, dict otherwise) — requesting ``kernel`` never loses the
+        vector representation that is already available."""
+        if not self.enable_array_state():
+            return False
+        start = time.perf_counter()
+        kernel = self.build_step_kernel()
+        if kernel is None:
+            return False
+        self.kernel_compile_seconds = time.perf_counter() - start
+        self.kernel_batched_steps = 0
+        self._kernel = kernel
+        self.state_backend = "kernel"
+        return True
+
+    @property
+    def step_kernel(self):
+        """The design's compiled kernel, recompiled on demand after
+        unpickling (compiled closures never serialize — see
+        :meth:`__getstate__`)."""
+        kernel = self.__dict__.get("_kernel")
+        if kernel is None and self.state_backend == "kernel":
+            start = time.perf_counter()
+            kernel = self.build_step_kernel()
+            self.kernel_compile_seconds += time.perf_counter() - start
+            self._kernel = kernel
+        return kernel
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_kernel", None)
+        state.pop("_checked_steps", None)
+        return state
+
     @property
     def states_interned(self) -> int:
         """Distinct states the interner holds (0 on the dict backend)."""
-        if self.state_backend != "array":
+        if self.state_backend not in VECTOR_BACKENDS:
             return 0
         return len(self._interner)
 
     def state_vector(self, state: Hashable) -> Optional[Tuple[int, ...]]:
-        """The flat slot vector behind an array-backend snapshot id, or
+        """The flat slot vector behind a vector-backend snapshot id, or
         ``None`` on the dict backend (where snapshots carry their own
         structure).  Coverage signatures digest this vector so state
         identity is stable across runs and interning orders."""
-        if self.state_backend == "array":
+        if self.state_backend in VECTOR_BACKENDS:
             return self._interner.state(state)
         return None
+
+    def intern_vector(self, vec: Sequence[int]) -> Optional[int]:
+        """Intern a raw slot vector (vector backends), or ``None`` on
+        the dict backend.  Lets kernel consumers turn stepped vectors
+        back into snapshot ids without a restore."""
+        if self.state_backend in VECTOR_BACKENDS:
+            return self._interner.intern(tuple(vec))
+        return None
+
+    def state_drained(self, state: Hashable) -> bool:
+        """Whether ``state`` is quiescent, without the caller paying a
+        restore on the kernel backend (the compiled predicate reads the
+        slot vector directly).  The interpreter backends restore and
+        ask the design, bit-for-bit the code path they always ran."""
+        if self.state_backend == "kernel":
+            return self.step_kernel.drained(self._interner.state(state))
+        self.restore(state)
+        return self.drained()
+
+    def drained(self) -> bool:
+        """Whether the architectural state can no longer change (the
+        default design never drains; subclasses override)."""
+        return False
 
     # -- batched expansion ---------------------------------------------
 
@@ -298,6 +401,52 @@ class Design:
                 continue
             self.tick()
             results.append((frame, self.snapshot()))
+        return results
+
+    def checked_step_kernel(self, checker):
+        """A fused ``(vec, checker, first, repeats) -> (frame, buf)``
+        step function with ``checker``'s assumption predicates compiled
+        into the kernel's combinational locals, or ``None`` when the
+        design has no compiled path for this checker (kernel-capable
+        subclasses override; ``None`` always falls back to the
+        interpreted :meth:`step_batch_checked`)."""
+        return None
+
+    def step_batch_checked(
+        self,
+        state: Hashable,
+        input_space: Sequence[Inputs],
+        checker,
+        first: int,
+    ) -> List[Optional[Tuple[Frame, Hashable]]]:
+        """:meth:`step_batch` with the reach graph's standard hook —
+        stamp ``first`` into the frame, then let ``checker`` (an
+        :class:`~repro.sva.monitor.AssumptionChecker`) accept or prune
+        the settled frame.  Counter effects (``antecedent_firings``,
+        ``pruned_frames``) stay in per-input logical units on every
+        backend; kernel-backed designs override this with a fused
+        compiled check that never materializes pruned frames."""
+
+        def hook(frame: Frame, repeats: int) -> bool:
+            frame["first"] = first
+            return checker.frame_ok_repeated(frame, repeats)
+
+        return self.step_batch(state, input_space, hook)
+
+    def successor_batch(
+        self,
+        states: Sequence[Hashable],
+        input_space: Sequence[Inputs],
+    ) -> List[List[Hashable]]:
+        """Frame-free expansion of a whole frontier: for each state, the
+        successor snapshots of every input choice (no pruning hook, no
+        frames).  The generic implementation loops :meth:`step_batch`;
+        kernel-backed designs override it to step the entire frontier
+        as one slot matrix when numpy is available."""
+        results: List[List[Hashable]] = []
+        for state in states:
+            edges = self.step_batch(state, input_space, _keep_all)
+            results.append([edge[1] for edge in edges])
         return results
 
     def input_space(self) -> List[Dict[str, int]]:

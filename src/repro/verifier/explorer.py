@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro import obs
-from repro.rtl.design import Design, Frame
+from repro.rtl.design import Design, Frame, VECTOR_BACKENDS
 from repro.sva.monitor import AssumptionChecker, PropertyMonitor
 
 #: Verdicts.
@@ -192,7 +192,7 @@ class Explorer(InstrumentedExplorer):
     def _check_property(
         self, monitor: PropertyMonitor, budget: Budget
     ) -> ExplorationResult:
-        if self.design.state_backend == "array":
+        if self.design.state_backend in VECTOR_BACKENDS:
             return self._check_property_batched(monitor, budget)
         root_rtl = self._reset_root()
         root = (root_rtl, monitor.initial())
@@ -294,14 +294,14 @@ class Explorer(InstrumentedExplorer):
                 return result
             next_frontier: List[Tuple[Hashable, Tuple]] = []
             first = 1 if depth == 0 else 0
-
-            def frame_hook(frame: Frame, repeats: int, _first=first) -> bool:
-                frame["first"] = _first
-                return assumptions.frame_ok_repeated(frame, repeats)
-
             layer_start = result.transitions
             for rtl_state, mon_state in frontier:
-                steps = design.step_batch(rtl_state, input_space, frame_hook)
+                # ``step_batch_checked`` stamps ``first`` and applies the
+                # assumption pruning — as a fused compiled check on the
+                # kernel backend, via ``frame_ok_repeated`` elsewhere.
+                steps = design.step_batch_checked(
+                    rtl_state, input_space, assumptions, first
+                )
                 for index, step in enumerate(steps):
                     result.transitions += 1
                     if step is None:
@@ -354,7 +354,7 @@ class Explorer(InstrumentedExplorer):
     # ------------------------------------------------------------------
 
     def _cover_assumptions(self, budget: Budget) -> ExplorationResult:
-        if self.design.state_backend == "array":
+        if self.design.state_backend in VECTOR_BACKENDS:
             return self._cover_assumptions_batched(budget)
         root = self._reset_root()
         visited = {root}
@@ -427,14 +427,11 @@ class Explorer(InstrumentedExplorer):
                 return result
             next_frontier = []
             first = 1 if depth == 0 else 0
-
-            def frame_hook(frame: Frame, repeats: int, _first=first) -> bool:
-                frame["first"] = _first
-                return assumptions.frame_ok_repeated(frame, repeats)
-
             layer_start = result.transitions
             for rtl_state in frontier:
-                steps = design.step_batch(rtl_state, input_space, frame_hook)
+                steps = design.step_batch_checked(
+                    rtl_state, input_space, assumptions, first
+                )
                 for step in steps:
                     result.transitions += 1
                     if step is None:

@@ -120,29 +120,27 @@ def _enumerate(design, max_states: int) -> ArchEnumeration:
         frontier = [root]
     input_space = design.input_space()
 
-    def _keep_all(frame, repeats):
-        return True
-
     while frontier and complete:
         next_frontier: List = []
-        for state in frontier:
-            # No assumptions, no monitors: every step survives, so the
-            # hook is a constant-true no-op and the batch degenerates to
-            # pure successor construction (one shared evaluation per
-            # state on batching designs).
-            steps = design.step_batch(state, input_space, _keep_all)
-            for step in steps:
+        # No assumptions, no monitors: the walk needs only successor
+        # snapshots, so the whole frontier expands through the
+        # frame-free batch (one shared evaluation per state on batching
+        # designs, one slot-matrix step per layer on the kernel
+        # backend).  ``state_drained`` asks the compiled quiescence
+        # predicate where one exists; the restore is paid only for the
+        # drained states whose architectural results are harvested.
+        for successors in design.successor_batch(frontier, input_space):
+            for child in successors:
                 transitions += 1
-                child = step[1]
                 if child in seen:
                     continue
                 if len(seen) >= max_states:
                     complete = False
                     break
                 seen.add(child)
-                design.restore(child)
-                if design.drained():
+                if design.state_drained(child):
                     drained_states += 1
+                    design.restore(child)
                     outcomes.add(_harvest(design))
                 else:
                     next_frontier.append(child)

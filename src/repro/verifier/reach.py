@@ -164,19 +164,19 @@ class ReachGraph:
     def _expand(self, node: int) -> List[Edge]:
         start = time.perf_counter()
         snapshot, first = self._keys[node]
-        assumptions = self.assumptions
 
         # ``sim_transitions`` stays in logical per-input units on every
         # backend (the engine model prices walks in transitions, and
         # serialized verdicts must not depend on the state backend);
         # the *physical* evaluations saved by batching are visible via
         # the design's ``batch_expansions``/``slots_copied`` counters.
-        def frame_hook(frame: Frame, repeats: int) -> bool:
-            frame["first"] = first
-            self.sim_transitions += repeats
-            return assumptions.frame_ok_repeated(frame, repeats)
-
-        steps = self.design.step_batch(snapshot, self.input_space, frame_hook)
+        # ``step_batch_checked`` stamps ``first`` into kept frames and
+        # applies the assumption pruning — on the kernel backend as a
+        # fused compiled check, elsewhere via ``frame_ok_repeated``.
+        steps = self.design.step_batch_checked(
+            snapshot, self.input_space, self.assumptions, first
+        )
+        self.sim_transitions += len(self.input_space)
         edges: List[Edge] = []
         for step in steps:
             if step is None:

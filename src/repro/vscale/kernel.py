@@ -1,0 +1,747 @@
+"""Compiled step kernel for the Multi-V-scale SoC.
+
+:func:`build_multi_vscale_kernel` generates, per design instance, the
+straight-line step functions described in :mod:`repro.rtl.kernel`.
+Everything static is baked in at compile time: every slot index is a
+literal in the generated source, each core's instruction memory becomes
+a tuple constant plus a precomputed decode table (``word -> (kind, rs1,
+rd/rs2, imm)``), and the declared data words become a ``word -> slot``
+dict.  The generated scalar ``step`` mirrors
+:meth:`MultiVScale.eval_comb` + :meth:`MultiVScale.tick` statement for
+statement — including the frame's exact key insertion order, the
+load->store writeback forwarding, the fetch-past-imem error, and the
+memory word-set growth guard — so the kernel backend is bit-identical
+to the interpreter by construction *and* by the differential tests.
+
+The numpy matrix path (:func:`_build_matrix_kernel`) steps a whole
+``(n_states, n_slots)`` int64 frontier per call with the same
+semantics, unrolled per core with data-dependent register/word indices
+resolved by fancy indexing.
+
+Decode kind codes (``DMEM_LOAD``/``DMEM_STORE`` align with 1/2 on
+purpose — the view's ``wb_type`` is just ``kind if kind <= 2 else 0``):
+
+===== ==========
+kind  instruction
+===== ==========
+0     nop / fence / bubble
+1     lw
+2     sw
+3     halt
+4     addi
+5     lui
+===== ==========
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RtlError, SvaError
+from repro.isa import Addi, Halt, Lui, Lw, Sw
+from repro.rtl.kernel import StepKernel, compile_source, numpy_or_none
+from repro.vscale.core import cached_decode
+from repro.vscale.memory import BuggyMemory, MemoryBase
+
+_M32 = 0xFFFFFFFF
+
+#: Decode entry: (kind, rs1, rd-or-rs2, imm).  For ``lui`` the shifted
+#: immediate is precomputed so the kernel never shifts at step time.
+DecodeEntry = Tuple[int, int, int, int]
+
+
+def decode_entry(word: int) -> DecodeEntry:
+    if word == 0:
+        # The bubble word: dx_valid is always clear alongside it, so the
+        # interpreter never decodes it; the tables map it to "nothing".
+        return (0, 0, 0, 0)
+    instr = cached_decode(word)
+    if isinstance(instr, Lw):
+        return (1, instr.rs1, instr.rd, instr.imm)
+    if isinstance(instr, Sw):
+        return (2, instr.rs1, instr.rs2, instr.imm)
+    if isinstance(instr, Halt):
+        return (3, 0, 0, 0)
+    if isinstance(instr, Addi):
+        return (4, instr.rs1, instr.rd, instr.imm)
+    if isinstance(instr, Lui):
+        return (5, 0, instr.rd, (instr.imm20 << 12) & _M32)
+    return (0, 0, 0, 0)  # Nop / Fence
+
+
+def _extend_decode(table: Dict[int, DecodeEntry], word: int) -> DecodeEntry:
+    entry = decode_entry(word)
+    table[word] = entry
+    return entry
+
+
+def _fetch_error(core_id: int, pc: int) -> RtlError:
+    return RtlError(
+        f"core {core_id}: fetch past instruction memory "
+        f"at PC {pc:#x} (missing halt?)"
+    )
+
+
+def _grow_error(word: int) -> RtlError:
+    # Identical wording to MemoryBase._write_base_slots: the kernel hits
+    # the guard during its fused tick, the interpreter at write_slots.
+    return RtlError(
+        "memory grew words outside the declared data set "
+        f"{[word]}; the flat state layout is static, so every "
+        "store target must appear in the initial data memory"
+    )
+
+
+class _KernelSpec:
+    """Static parameters harvested from a MultiVScale instance."""
+
+    def __init__(self, design):
+        self.num_cores = design.arbiter.num_cores
+        self.core_bases: List[int] = list(design._core_bases)
+        self.base_pcs = [core.base_pc for core in design.cores]
+        self.imems = [tuple(core.imem) for core in design.cores]
+        self.arb = design._arb_base
+        self.mem = design._mem_base
+        memory = design.memory
+        self.buggy = isinstance(memory, BuggyMemory)
+        self.words: Tuple[int, ...] = tuple(memory.slot_words)
+        self.mem_slot0 = self.mem + MemoryBase.PENDING_SLOTS
+        #: word address -> absolute slot index of its memory cell.
+        self.memidx = {
+            word: self.mem_slot0 + i for i, word in enumerate(self.words)
+        }
+        self.woff = self.mem_slot0 + len(self.words)  # buggy-only wvalid
+        #: owner core id -> absolute slot of its wb_store_data.
+        self.sd_off = tuple(base + 8 for base in self.core_bases)
+        self.size = design._slot_layout.size
+
+    def key(self) -> Tuple:
+        """Everything the generated source depends on — the compile
+        cache key, so equal designs (same programs, same variant) share
+        one compiled kernel across instances and runs."""
+        return (
+            self.num_cores,
+            tuple(self.core_bases),
+            tuple(self.base_pcs),
+            tuple(self.imems),
+            self.arb,
+            self.mem,
+            self.buggy,
+            self.words,
+            self.size,
+        )
+
+
+# ----------------------------------------------------------------------
+# Scalar codegen
+# ----------------------------------------------------------------------
+
+
+def _emit_comb(spec: _KernelSpec, w) -> None:
+    """The shared combinational phase: decode, stall, grant, memory
+    data phase.  Binds per-core locals k/ma/ld/wr/alu/rs2x/ism/st and
+    globals granted/g_ism/g_k/g_mw/pv/pc_/pk/pw/sdi/lo."""
+    for i, B in enumerate(spec.core_bases):
+        R = B + 15
+        w(f"pcif{i} = vec[{B}]")
+        w(f"fs{i} = vec[{B + 1}]")
+        w(f"dxv{i} = vec[{B + 2}]")
+        w(f"k{i} = 0; ma{i} = 0; ld{i} = 0; wr{i} = -1; alu{i} = 0; rs2x{i} = 0")
+        w(f"if dxv{i}:")
+        w(f"    t = DEC{i}.get(vec[{B + 3}])")
+        w("    if t is None:")
+        w(f"        t = _dec(DEC{i}, vec[{B + 3}])")
+        w(f"    k{i} = t[0]")
+        w(f"    if k{i} == 1:")
+        w(f"        ma{i} = (vec[{R} + t[1]] + t[3]) & {_M32}")
+        w(f"        ld{i} = t[2]")
+        w(f"    elif k{i} == 2:")
+        w(f"        ma{i} = (vec[{R} + t[1]] + t[3]) & {_M32}")
+        w(f"        rs2x{i} = t[2]")
+        w(f"    elif k{i} == 4:")
+        w(f"        wr{i} = t[2]; alu{i} = (vec[{R} + t[1]] + t[3]) & {_M32}")
+        w(f"    elif k{i} == 5:")
+        w(f"        wr{i} = t[2]; alu{i} = t[3]")
+        w(f"ism{i} = 1 <= k{i} <= 2")
+    w(f"granted = vec[{spec.arb}]")
+    for i in range(spec.num_cores):
+        w(f"st{i} = ism{i} and granted != {i}")
+    # The granted core's DX view opens this cycle's address phase.
+    for i in range(spec.num_cores):
+        head = "if" if i == 0 else "elif"
+        cond = f"granted == {i}" if i < spec.num_cores - 1 else ""
+        if cond:
+            w(f"{head} {cond}:")
+        else:
+            w("else:")
+        w(f"    g_ism = ism{i}; g_k = k{i}; g_mw = ma{i} >> 2")
+    # Data phase of last cycle's transaction.
+    m = spec.mem
+    w(f"pv = vec[{m}]")
+    w("sdi = 0; lo = 0; pc_ = -1; pk = 0; pw = 0")
+    w("if pv:")
+    w(f"    pc_ = vec[{m + 1}]; pk = vec[{m + 2}]; pw = vec[{m + 3}]")
+    w("    if pk == 2:")
+    w("        sdi = vec[SD_OFF[pc_]]")
+    if spec.buggy:
+        w(f"    elif vec[{spec.woff}] and vec[{spec.woff + 1}] == pw:")
+        w(f"        lo = vec[{spec.woff + 2}]")
+        w("    else:")
+        w("        j = MEMIDX.get(pw)")
+        w("        if j is not None:")
+        w("            lo = vec[j]")
+    else:
+        w("    else:")
+        w("        j = MEMIDX.get(pw)")
+        w("        if j is not None:")
+        w("            lo = vec[j]")
+
+
+def _frame_pairs(spec: _KernelSpec) -> List[Tuple[str, str]]:
+    """``(frame key, comb-local expression)`` pairs in exactly
+    MultiVScale.eval_comb's insertion order — the frame dict literal
+    and the fused assumption compiler both read from this one map."""
+    pairs: List[Tuple[str, str]] = []
+    for i, B in enumerate(spec.core_bases):
+        p = f"core[{i}]."
+        pairs.append((p + "PC_IF", f"pcif{i}"))
+        pairs.append((p + "PC_DX", f"vec[{B + 4}] if dxv{i} else 0"))
+        pairs.append((p + "PC_WB", f"vec[{B + 6}] if vec[{B + 5}] else 0"))
+        pairs.append((p + "stall_IF", f"1 if (st{i} or fs{i}) else 0"))
+        pairs.append((p + "stall_DX", f"1 if st{i} else 0"))
+        pairs.append((p + "stall_WB", "0"))
+        pairs.append((p + "dmem_type_DX", f"k{i} if k{i} <= 2 else 0"))
+        pairs.append((p + "dmem_type_WB", f"vec[{B + 7}]"))
+        pairs.append(
+            (
+                p + "load_data_WB",
+                f"lo if (pc_ == {i} and pk == 1 and vec[{B + 7}] == 1) else 0",
+            )
+        )
+        pairs.append((p + "store_data_WB", f"vec[{B + 8}]"))
+        pairs.append((p + "halted", f"vec[{B + 14}]"))
+    pairs.append(("arbiter.cur_core", "granted"))
+    pairs.append(("arbiter.prev_core", f"vec[{spec.arb + 1}]"))
+    for word in spec.words:
+        pairs.append((f"mem[{word}]", f"vec[{spec.memidx[word]}]"))
+    if spec.buggy:
+        pairs.append(("mem.wvalid", f"vec[{spec.woff}]"))
+        pairs.append(("mem.waddr", f"vec[{spec.woff + 1}]"))
+        pairs.append(("mem.wdata", f"vec[{spec.woff + 2}]"))
+    return pairs
+
+
+def _emit_frame(spec: _KernelSpec, w, extra: str = "") -> None:
+    """The settled frame as one dict literal — key order is exactly
+    MultiVScale.eval_comb's insertion order.  ``extra`` appends
+    trailing entries (the fused path stamps ``'first'`` here, matching
+    the reach-graph hook that adds it after ``eval_comb``)."""
+    w("frame = {")
+    for key, expr in _frame_pairs(spec):
+        w(f"    {key!r}: {expr},")
+    if extra:
+        w(f"    {extra},")
+    w("}")
+
+
+def _emit_tick(spec: _KernelSpec, w) -> None:
+    """The sequential phase into a fresh ``buf`` (the successor vector,
+    arbiter grant slot left for the caller to patch per choice)."""
+    w("buf = list(vec)")
+    m = spec.mem
+    # Memory tick.
+    if spec.buggy:
+        wo = spec.woff
+        w("if g_ism and g_k == 2:")
+        w(f"    if vec[{wo}]:")
+        w(f"        j = MEMIDX.get(vec[{wo + 1}])")
+        w("        if j is None:")
+        w(f"            raise _grow(vec[{wo + 1}])")
+        w(f"        buf[j] = vec[{wo + 2}]")
+        w(f"    buf[{wo}] = 1; buf[{wo + 1}] = g_mw")
+        w("if pk == 2:")
+        w(f"    buf[{wo + 2}] = sdi")
+    else:
+        w("if pk == 2:")
+        w("    j = MEMIDX.get(pw)")
+        w("    if j is None:")
+        w("        raise _grow(pw)")
+        w("    buf[j] = sdi")
+    w("if g_ism:")
+    w(f"    buf[{m}] = 1; buf[{m + 1}] = granted; buf[{m + 2}] = g_k; buf[{m + 3}] = g_mw")
+    w("else:")
+    w(f"    buf[{m}] = 0; buf[{m + 1}] = 0; buf[{m + 2}] = 0; buf[{m + 3}] = 0")
+    # Arbiter tick (cur_core is the caller-patched free-input slot).
+    w(f"buf[{spec.arb + 1}] = granted")
+    # Core ticks.
+    for i, B in enumerate(spec.core_bases):
+        R = B + 15
+        w(f"if vec[{B + 5}]:")
+        w(f"    if vec[{B + 7}] == 1 and vec[{B + 9}]:")
+        w(f"        buf[{R} + vec[{B + 9}]] = lo if (pc_ == {i} and pk == 1) else 0")
+        w(f"    elif vec[{B + 11}] > 0:")
+        w(f"        buf[{R} + vec[{B + 11}]] = vec[{B + 12}]")
+        w(f"    if vec[{B + 10}]:")
+        w(f"        buf[{B + 14}] = 1")
+        w(f"if st{i} or not dxv{i}:")
+        w(
+            f"    buf[{B + 5}] = 0; buf[{B + 6}] = 0; buf[{B + 7}] = 0; "
+            f"buf[{B + 8}] = 0; buf[{B + 9}] = 0"
+        )
+        w(
+            f"    buf[{B + 10}] = 0; buf[{B + 11}] = -1; buf[{B + 12}] = 0; "
+            f"buf[{B + 13}] = 0"
+        )
+        w("else:")
+        w(f"    buf[{B + 5}] = 1")
+        w(f"    buf[{B + 6}] = vec[{B + 4}]")
+        w(f"    buf[{B + 7}] = k{i} if k{i} <= 2 else 0")
+        # Store data reads the register file *after* writeback (the
+        # load->store forwarding the interpreter gets from its phase
+        # ordering), hence buf not vec.
+        w(f"    buf[{B + 8}] = buf[{R} + rs2x{i}] if k{i} == 2 else 0")
+        w(f"    buf[{B + 9}] = ld{i}")
+        w(f"    buf[{B + 10}] = 1 if k{i} == 3 else 0")
+        w(f"    buf[{B + 11}] = wr{i}")
+        w(f"    buf[{B + 12}] = alu{i}")
+        w(f"    buf[{B + 13}] = ma{i}")
+        w(f"if not st{i}:")
+        w(f"    if dxv{i} and k{i} == 3:")
+        w(f"        fs{i} = 1")
+        w(f"        buf[{B + 1}] = 1")
+        w(f"    if fs{i}:")
+        w(f"        buf[{B + 2}] = 0; buf[{B + 3}] = 0; buf[{B + 4}] = 0")
+        w("    else:")
+        w(f"        x = (pcif{i} - {spec.base_pcs[i]}) >> 2")
+        w(f"        if 0 <= x < {len(spec.imems[i])}:")
+        w(f"            buf[{B + 2}] = 1; buf[{B + 3}] = IMEM{i}[x]")
+        w(f"            buf[{B + 4}] = pcif{i}; buf[{B}] = pcif{i} + 4")
+        w("        else:")
+        w(f"            raise _fetch({i}, pcif{i})")
+
+
+def _generate_step_source(spec: _KernelSpec, with_frame: bool) -> str:
+    lines: List[str] = []
+    indent = [1]
+
+    def w(line: str) -> None:
+        lines.append("    " * indent[0] + line)
+
+    if with_frame:
+        lines.append("def step(vec, hook=None, repeats=1):")
+    else:
+        lines.append("def step_state(vec):")
+    _emit_comb(spec, w)
+    if with_frame:
+        _emit_frame(spec, w)
+        w("if hook is not None and not hook(frame, repeats):")
+        w("    return frame, None")
+    _emit_tick(spec, w)
+    if with_frame:
+        w("return frame, buf")
+    else:
+        w("return buf")
+    return "\n".join(lines) + "\n"
+
+
+def _generate_drained_source(spec: _KernelSpec) -> str:
+    halted = " and ".join(f"vec[{B + 14}]" for B in spec.core_bases)
+    busy = " or ".join(
+        f"vec[{B + 2}] or vec[{B + 5}]" for B in spec.core_bases
+    )
+    return (
+        "def drained(vec):\n"
+        f"    return bool(({halted}) and not ({busy}) "
+        f"and not vec[{spec.mem}])\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# numpy matrix path
+# ----------------------------------------------------------------------
+
+
+def _build_matrix_kernel(np, spec: _KernelSpec):
+    """Vectorized step over a ``(n_states, n_slots)`` int64 matrix.
+
+    Same semantics as the scalar kernel, unrolled per core; per-row
+    register and memory-word indices resolve through fancy indexing,
+    instruction decode through ``searchsorted`` on each core's sorted
+    word table.  Returns ``(step_matrix, drained_matrix)``.
+    """
+    M32 = np.int64(_M32)
+    C = spec.num_cores
+    arb, mem = spec.arb, spec.mem
+    buggy, woff = spec.buggy, spec.woff
+    slot_words = np.asarray(spec.words, dtype=np.int64)
+    nwords = len(spec.words)
+    mem_slot0 = spec.mem_slot0
+    sd_off = np.asarray(spec.sd_off, dtype=np.int64)
+    core_ids = np.arange(C, dtype=np.int64)
+
+    dec_tables = []
+    for i in range(C):
+        words = sorted(set(spec.imems[i]) | {0})
+        entries = [decode_entry(word) for word in words]
+        dec_tables.append(
+            (
+                np.asarray(words, dtype=np.int64),
+                np.asarray([e[0] for e in entries], dtype=np.int64),
+                np.asarray([e[1] for e in entries], dtype=np.int64),
+                np.asarray([e[2] for e in entries], dtype=np.int64),
+                np.asarray([e[3] for e in entries], dtype=np.int64),
+            )
+        )
+    imems = [
+        np.asarray(imem if imem else (0,), dtype=np.int64)
+        for imem in spec.imems
+    ]
+
+    def _word_slots(addrs):
+        """Map word addresses to memory-cell column offsets; returns
+        (clipped offsets, found mask)."""
+        if nwords == 0:
+            zero = np.zeros(len(addrs), dtype=np.int64)
+            return zero, zero != 0
+        pos = np.searchsorted(slot_words, addrs)
+        pos = np.minimum(pos, nwords - 1)
+        return pos, slot_words[pos] == addrs
+
+    def step_matrix(mat):
+        n = mat.shape[0]
+        rows = np.arange(n)
+        out = mat.copy()
+
+        kinds, mas, alus, lds, wrs, rs2s, isms = [], [], [], [], [], [], []
+        for i, B in enumerate(spec.core_bases):
+            dwords, dk, da1, da2, da3 = dec_tables[i]
+            dxv = mat[:, B + 2] != 0
+            dxw = mat[:, B + 3]
+            pos = np.minimum(np.searchsorted(dwords, dxw), len(dwords) - 1)
+            found = dxv & (dwords[pos] == dxw)
+            k = np.where(found, dk[pos], 0)
+            a1 = np.where(found, da1[pos], 0)
+            a2 = np.where(found, da2[pos], 0)
+            a3 = np.where(found, da3[pos], 0)
+            addsum = (mat[rows, B + 15 + a1] + a3) & M32
+            is_mem = (k == 1) | (k == 2)
+            kinds.append(k)
+            mas.append(np.where(is_mem, addsum, 0))
+            alus.append(
+                np.where(k == 4, addsum, np.where(k == 5, a3, 0))
+            )
+            lds.append(np.where(k == 1, a2, 0))
+            wrs.append(np.where(k >= 4, a2, -1))
+            rs2s.append(np.where(k == 2, a2, 0))
+            isms.append(is_mem)
+
+        ISM = np.stack(isms, axis=1)
+        KK = np.stack(kinds, axis=1)
+        MAS = np.stack(mas, axis=1)
+        granted = mat[:, arb]
+        g_ism = ISM[rows, granted]
+        g_k = KK[rows, granted]
+        g_mw = MAS[rows, granted] >> 2
+        stall = ISM & (core_ids[None, :] != granted[:, None])
+
+        pv = mat[:, mem] != 0
+        pcore = mat[:, mem + 1]
+        pk = np.where(pv, mat[:, mem + 2], 0)
+        pw = mat[:, mem + 3]
+        p_store = pv & (pk == 2)
+        p_load = pv & (pk == 1)
+        sdi = np.where(p_store, mat[rows, sd_off[pcore]], 0)
+        wpos, wfound = _word_slots(pw)
+        mem_val = np.where(wfound, mat[rows, mem_slot0 + wpos], 0)
+        if buggy:
+            wv = mat[:, woff] != 0
+            wa = mat[:, woff + 1]
+            wd = mat[:, woff + 2]
+            lo = np.where(
+                p_load, np.where(wv & (wa == pw), wd, mem_val), 0
+            )
+        else:
+            lo = np.where(p_load, mem_val, 0)
+
+        # -- memory tick -----------------------------------------------
+        if buggy:
+            new_store = g_ism & (g_k == 2)
+            push = new_store & wv
+            if push.any():
+                ppos, pfound = _word_slots(wa)
+                bad = push & ~pfound
+                if bad.any():
+                    raise _grow_error(int(wa[int(bad.argmax())]))
+                out[rows[push], mem_slot0 + ppos[push]] = wd[push]
+            out[:, woff] = np.where(new_store, 1, mat[:, woff])
+            out[:, woff + 1] = np.where(new_store, g_mw, wa)
+            out[:, woff + 2] = np.where(p_store, sdi, wd)
+        else:
+            if p_store.any():
+                spos, sfound = _word_slots(pw)
+                bad = p_store & ~sfound
+                if bad.any():
+                    raise _grow_error(int(pw[int(bad.argmax())]))
+                out[rows[p_store], mem_slot0 + spos[p_store]] = sdi[p_store]
+        gi = g_ism.astype(np.int64)
+        out[:, mem] = gi
+        out[:, mem + 1] = np.where(g_ism, granted, 0)
+        out[:, mem + 2] = np.where(g_ism, g_k, 0)
+        out[:, mem + 3] = np.where(g_ism, g_mw, 0)
+        out[:, arb + 1] = granted
+
+        # -- core ticks ------------------------------------------------
+        for i, B in enumerate(spec.core_bases):
+            k = kinds[i]
+            stall_i = stall[:, i]
+            dxv = mat[:, B + 2] != 0
+            wbv = mat[:, B + 5] != 0
+            wbt = mat[:, B + 7]
+            wbld = mat[:, B + 9]
+            wbwr = mat[:, B + 11]
+            ld_data = np.where(pv & (pcore == i) & (pk == 1), lo, 0)
+            is_load_wb = (wbt == 1) & (wbld != 0)
+            c1 = wbv & is_load_wb
+            if c1.any():
+                out[rows[c1], B + 15 + wbld[c1]] = ld_data[c1]
+            c2 = wbv & ~is_load_wb & (wbwr > 0)
+            if c2.any():
+                out[rows[c2], B + 15 + wbwr[c2]] = mat[c2, B + 12]
+            out[:, B + 14] = np.where(
+                wbv & (mat[:, B + 10] != 0), 1, mat[:, B + 14]
+            )
+
+            passing = ~(stall_i | ~dxv)
+            out[:, B + 5] = passing.astype(np.int64)
+            out[:, B + 6] = np.where(passing, mat[:, B + 4], 0)
+            out[:, B + 7] = np.where(passing & (k <= 2), k, 0)
+            # Post-writeback register read: store data forwards.
+            sdval = out[rows, B + 15 + rs2s[i]]
+            out[:, B + 8] = np.where(passing & (k == 2), sdval, 0)
+            out[:, B + 9] = np.where(passing, lds[i], 0)
+            out[:, B + 10] = np.where(passing & (k == 3), 1, 0)
+            out[:, B + 11] = np.where(passing, wrs[i], -1)
+            out[:, B + 12] = np.where(passing, alus[i], 0)
+            out[:, B + 13] = np.where(passing, mas[i], 0)
+
+            nostall = ~stall_i
+            fs_new = (mat[:, B + 1] != 0) | (dxv & (k == 3))
+            out[:, B + 1] = np.where(nostall, fs_new, mat[:, B + 1])
+            fetch = nostall & ~fs_new
+            drain = nostall & fs_new
+            imem = imems[i]
+            x = (mat[:, B] - spec.base_pcs[i]) >> 2
+            bad = fetch & ((x < 0) | (x >= len(imem)))
+            if bad.any():
+                row = int(bad.argmax())
+                raise _fetch_error(i, int(mat[row, B]))
+            xc = np.clip(x, 0, len(imem) - 1)
+            word = imem[xc]
+            out[:, B + 2] = np.where(
+                fetch, 1, np.where(drain, 0, mat[:, B + 2])
+            )
+            out[:, B + 3] = np.where(
+                fetch, word, np.where(drain, 0, mat[:, B + 3])
+            )
+            out[:, B + 4] = np.where(
+                fetch, mat[:, B], np.where(drain, 0, mat[:, B + 4])
+            )
+            out[:, B] = np.where(fetch, mat[:, B] + 4, mat[:, B])
+        return out
+
+    def drained_matrix(mat):
+        quiet = mat[:, mem] == 0
+        for B in spec.core_bases:
+            quiet &= (
+                (mat[:, B + 14] != 0)
+                & (mat[:, B + 2] == 0)
+                & (mat[:, B + 5] == 0)
+            )
+        return quiet
+
+    return step_matrix, drained_matrix
+
+
+# ----------------------------------------------------------------------
+# Fused assumption checking
+# ----------------------------------------------------------------------
+
+
+def _bool_src(expr, sigs: Dict[str, str]) -> str:
+    """Compile a :class:`~repro.sva.ast.BoolExpr` to a Python expression
+    over the kernel's comb locals.  Truthiness, short-circuiting, and
+    the missing-signal-reads-0 default all match ``evaluate(frame)``."""
+    from repro.sva import ast
+
+    if isinstance(expr, ast.BConst):
+        return "True" if expr.value else "False"
+    if isinstance(expr, ast.Sig):
+        src = sigs.get(expr.name)
+        return f"({src})" if src is not None else "False"
+    if isinstance(expr, ast.SigEq):
+        src = sigs.get(expr.name)
+        if src is None:
+            return repr(0 == expr.value)
+        return f"(({src}) == {expr.value})"
+    if isinstance(expr, ast.BNot):
+        return f"(not {_bool_src(expr.body, sigs)})"
+    if isinstance(expr, ast.BAnd):
+        if not expr.operands:
+            return "True"
+        return "(" + " and ".join(_bool_src(op, sigs) for op in expr.operands) + ")"
+    if isinstance(expr, ast.BOr):
+        if not expr.operands:
+            return "False"
+        return "(" + " or ".join(_bool_src(op, sigs) for op in expr.operands) + ")"
+    raise SvaError(f"cannot compile boolean expression {expr!r}")
+
+
+def _prop_src(prop, sigs: Dict[str, str]) -> str:
+    """Compile a single-cycle assumption consequent, mirroring
+    ``repro.sva.monitor._bool_property``."""
+    from repro.sva import ast
+
+    if isinstance(prop, ast.PConst):
+        return "True" if prop.value else "False"
+    if isinstance(prop, ast.PSeq):
+        if isinstance(prop.seq, ast.SBool):
+            return _bool_src(prop.seq.expr, sigs)
+        raise SvaError("assumption consequents must be single-cycle")
+    if isinstance(prop, ast.PAnd):
+        if not prop.operands:
+            return "True"
+        return "(" + " and ".join(_prop_src(op, sigs) for op in prop.operands) + ")"
+    if isinstance(prop, ast.POr):
+        if not prop.operands:
+            return "False"
+        return "(" + " or ".join(_prop_src(op, sigs) for op in prop.operands) + ")"
+    if isinstance(prop, ast.PImpl):
+        return (
+            f"((not {_bool_src(prop.antecedent, sigs)}) "
+            f"or {_prop_src(prop.consequent, sigs)})"
+        )
+    raise SvaError(f"assumption consequent too complex: {prop!r}")
+
+
+def _generate_checked_source(spec: _KernelSpec, checks) -> str:
+    """``step_checked(vec, checker, first, repeats)``: comb settle,
+    compiled assumption check (exact ``frame_ok_repeated`` counter
+    effects), then — only when the frame survives — the frame dict
+    literal (with ``'first'`` stamped last, like the reach-graph hook)
+    and the sequential phase.  Pruned cycles never materialize a frame
+    and never raise sequential-phase errors, exactly like the
+    interpreter, which only ticks after the hook passes."""
+    sigs = {key: expr for key, expr in _frame_pairs(spec)}
+    sigs["first"] = "first"
+    lines: List[str] = []
+    indent = [1]
+
+    def w(line: str) -> None:
+        lines.append("    " * indent[0] + line)
+
+    lines.append("def step_checked(vec, checker, first, repeats):")
+    _emit_comb(spec, w)
+    w("_f = 0")
+    for _name, antecedent, consequent in checks:
+        w(f"if {_bool_src(antecedent, sigs)}:")
+        w("    _f += 1")
+        w(f"    if not {_prop_src(consequent, sigs)}:")
+        w("        checker.antecedent_firings += _f * repeats")
+        w("        checker.pruned_frames += repeats")
+        w("        return None, None")
+    w("if _f:")
+    w("    checker.antecedent_firings += _f * repeats")
+    _emit_frame(spec, w, extra="'first': first")
+    _emit_tick(spec, w)
+    w("return frame, buf")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+
+
+def _make_namespace(spec: _KernelSpec) -> dict:
+    namespace = {
+        "_dec": _extend_decode,
+        "_fetch": _fetch_error,
+        "_grow": _grow_error,
+        "MEMIDX": dict(spec.memidx),
+        "SD_OFF": spec.sd_off,
+    }
+    for i, imem in enumerate(spec.imems):
+        namespace[f"IMEM{i}"] = imem
+        namespace[f"DEC{i}"] = {word: decode_entry(word) for word in imem}
+    return namespace
+
+
+#: spec.key() -> StepKernel.  Kernels are pure functions of the spec,
+#: so equal designs (every benchmark repeat, every fuzz worker on the
+#: same test) share one compiled kernel instead of recompiling.
+_KERNEL_CACHE: Dict[Tuple, StepKernel] = {}
+
+#: (spec.key(), checks) -> fused step_checked function (or None when
+#: the checker's properties fall outside the compilable single-cycle
+#: fragment and the interpreted path must run instead).
+_CHECKED_CACHE: Dict[Tuple, Optional[object]] = {}
+
+
+def build_multi_vscale_kernel(design) -> StepKernel:
+    """Compile (or fetch from the cache) the design's step kernel; the
+    design must already be on the array backend (slot layout bound)."""
+    spec = _KernelSpec(design)
+    cache_key = spec.key()
+    kernel = _KERNEL_CACHE.get(cache_key)
+    if kernel is not None:
+        return kernel
+    namespace = _make_namespace(spec)
+
+    step_src = _generate_step_source(spec, with_frame=True)
+    state_src = _generate_step_source(spec, with_frame=False)
+    drained_src = _generate_drained_source(spec)
+    step = compile_source(step_src, namespace, "step")
+    step_state = compile_source(state_src, namespace, "step_state")
+    drained = compile_source(drained_src, namespace, "drained")
+
+    arb = spec.arb
+    num_cores = spec.num_cores
+
+    def apply_inputs(buf, inputs):
+        buf[arb] = inputs.get("arb_select", 0) % num_cores
+
+    np = numpy_or_none()
+    step_matrix = drained_matrix = None
+    if np is not None:
+        step_matrix, drained_matrix = _build_matrix_kernel(np, spec)
+
+    kernel = StepKernel(
+        step=step,
+        step_state=step_state,
+        drained=drained,
+        apply_inputs=apply_inputs,
+        step_matrix=step_matrix,
+        drained_matrix=drained_matrix,
+        np=np,
+        source=step_src + "\n" + state_src + "\n" + drained_src,
+    )
+    _KERNEL_CACHE[cache_key] = kernel
+    return kernel
+
+
+def build_checked_step(design, checker):
+    """Compile (or fetch) the fused assumption-checked step for
+    ``checker``'s checks against ``design``'s kernel spec.  Returns
+    ``None`` when any check falls outside the compilable fragment —
+    callers then run the interpreted ``frame_ok_repeated`` path, which
+    also preserves the interpreter's lazy ``SvaError`` behavior."""
+    spec = _KernelSpec(design)
+    checks = tuple(checker.checks)
+    cache_key = (spec.key(), checks)
+    if cache_key in _CHECKED_CACHE:
+        return _CHECKED_CACHE[cache_key]
+    try:
+        source = _generate_checked_source(spec, checks)
+        fused = compile_source(source, _make_namespace(spec), "step_checked")
+    except SvaError:
+        fused = None
+    _CHECKED_CACHE[cache_key] = fused
+    return fused

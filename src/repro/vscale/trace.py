@@ -67,15 +67,21 @@ def harvest_traces(
     seed: int = 0,
     max_cycles: int = DEFAULT_MAX_CYCLES,
     collect_grants: bool = False,
+    state_backend: str = "array",
 ) -> Harvest:
     """Sample ``samples`` randomized executions of ``test`` on the RTL.
 
     ``collect_grants=True`` additionally records each schedule's grant
     sequence and folds them into coverage n-grams
     (``Harvest.grant_ngrams``); the grants drawn are identical either
-    way, so collection cannot perturb the sampled outcomes."""
+    way, so collection cannot perturb the sampled outcomes.
+
+    ``state_backend`` selects the design's state representation; the
+    rng draw sequence is per-schedule and grouping-independent, so the
+    harvest stays deterministic in ``(test, seed, samples)`` on every
+    backend."""
     compiled = compile_test(test)
-    design = MultiVScale(compiled, memory_variant)
+    design = MultiVScale(compiled, memory_variant, state_backend=state_backend)
     design.reset()
     input_space = design.input_space()
     start = design.snapshot()
@@ -94,8 +100,10 @@ def harvest_traces(
 
     def is_drained(state: Hashable) -> bool:
         if state not in drained_memo:
-            design.restore(state)
-            drained_memo[state] = design.drained()
+            # ``state_drained`` reads the compiled quiescence predicate
+            # on the kernel backend (no restore); interpreter backends
+            # restore and ask the design, exactly as before.
+            drained_memo[state] = design.state_drained(state)
         return drained_memo[state]
 
     cycles = 0

@@ -279,6 +279,41 @@ class TestSnapshotRestore:
         assert [revived.intern(state) for state in states] == ids
         assert [revived.state(sid) for sid in ids] == list(states)
 
+    def test_corrupt_pickle_length_rejected(self):
+        """A packed payload that cannot hold width x count vectors must
+        raise instead of silently truncating the table."""
+        interner = StateInterner()
+        interner.intern((1, 2, 3))
+        interner.intern((4, 5, 6))
+        state = interner.__getstate__()
+        state["packed"] = state["packed"][:-8]  # drop one slot
+        with pytest.raises(ReproError):
+            StateInterner.__new__(StateInterner).__setstate__(state)
+
+    def test_duplicate_vectors_rejected(self):
+        """Duplicate vectors in a pickle would renumber every later id
+        (dict keeps the last), breaking the dense-id invariant node
+        numbering relies on — must raise, never renumber."""
+        from array import array as _array
+
+        flat = _array("q", [7, 8, 9, 7, 8, 9])
+        state = {"width": 3, "count": 2, "packed": flat.tobytes()}
+        with pytest.raises(ReproError):
+            StateInterner.__new__(StateInterner).__setstate__(state)
+
+    def test_interleaved_intern_survives_round_trip(self):
+        """Ids handed out before a pickle stay valid after it, and new
+        interns continue the dense numbering."""
+        interner = StateInterner()
+        a = interner.intern((0, -1))
+        b = interner.intern((5, 5))
+        revived = pickle.loads(pickle.dumps(interner))
+        assert revived.state(a) == (0, -1)
+        assert revived.state(b) == (5, 5)
+        c = revived.intern((9, 9))
+        assert c == 2
+        assert revived.intern((0, -1)) == a
+
 
 class TestBackendSelection:
     """Plumbing: the backend is chosen at the RTLCheck/CLI layer."""
