@@ -1,0 +1,76 @@
+"""Benchmark: job server, cold vs warm suite job over a real socket.
+
+Submits the same suite job to two job servers sharing one cache
+directory.  The first (cold) server computes every verdict through its
+process pool; the second (warm) server starts fresh, receives the
+identical spec, and must answer it as a pure cache hit — byte-identical
+report, no process pool ever spawned (asserted through ``/v1/stats``).
+The acceptance bar is a >= 5x wall-time improvement: the warm path is
+one HTTP round trip plus a disk read, so the serve plumbing must not
+erode the cache-tier speedup that ``cache_warm.txt`` establishes for
+the in-process path.
+"""
+
+import json
+import time
+
+from conftest import save_table
+
+from repro.serve import ServeClient, ThreadedServer
+
+SPEEDUP_FLOOR = 5.0
+
+SPEC = {
+    "kind": "suite",
+    "params": {"tests": ["mp", "sb", "lb", "iwp24", "iriw", "amd3"]},
+}
+
+
+def _timed_run(port):
+    client = ServeClient(port=port, timeout=600)
+    start = time.perf_counter()
+    submission, report = client.run(SPEC)
+    seconds = time.perf_counter() - start
+    return submission, report, seconds, client.stats()
+
+
+def test_serve_warm_job_speedup(results_dir, tmp_path):
+    cache_dir = tmp_path / "cache"
+
+    with ThreadedServer(cache_dir=str(cache_dir), jobs=2) as cold:
+        cold_sub, cold_report, cold_seconds, cold_stats = _timed_run(cold.port)
+    assert cold_sub["source"] == "created"
+    assert cold_stats["pool"]["pools_spawned"] == 1
+
+    with ThreadedServer(cache_dir=str(cache_dir), jobs=2) as warm:
+        warm_sub, warm_report, warm_seconds, warm_stats = _timed_run(warm.port)
+    assert warm_sub["source"] == "cache"
+
+    # The warm server answered from serve/reports/ without ever paying
+    # process-pool startup or dispatching a unit.
+    assert warm_stats["pool"]["pools_spawned"] == 0
+    assert warm_stats["pool"]["units_dispatched"] == 0
+    assert warm_stats["counters"]["cache_hits"] == 1
+
+    # Cache hits replay the stored snapshot, timings included: the
+    # served documents are byte-identical, not merely equivalent.
+    assert json.dumps(cold_report, sort_keys=True) == json.dumps(
+        warm_report, sort_keys=True
+    ), "warm served report differs from cold"
+
+    speedup = cold_seconds / warm_seconds
+    lines = [
+        "Job server: identical suite job, cold vs warm server",
+        f"  tests per job        {len(SPEC['params']['tests'])}",
+        f"  cold (computed)      {cold_seconds:8.2f} s   pool spawned, "
+        f"{cold_stats['pool']['units_dispatched']} units dispatched",
+        f"  warm (cache hit)     {warm_seconds:8.2f} s   no pool, 0 units",
+        f"  speedup              {speedup:8.1f} x   (floor {SPEEDUP_FLOOR}x)",
+        "  reports byte-identical: yes",
+        "",
+    ]
+    save_table(results_dir, "serve.txt", "\n".join(lines))
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm serve speedup {speedup:.1f}x below floor {SPEEDUP_FLOOR}x"
+    )

@@ -35,6 +35,15 @@ Commands
     closure report over every merged campaign (``report``), key-set
     diff of two coverage documents (``diff``), and offline merge of
     databases/reports (``merge``).  See ``docs/observability.md``.
+``serve [--host H] [--port N] [--jobs N] [--cache-dir DIR]``
+    Run the verification job server: accepts verify/suite/fuzz jobs as
+    JSON over HTTP, dedupes identical requests via cache keys, shards
+    suite work over a process pool, streams NDJSON progress, and
+    resumes interrupted jobs on restart.  See ``docs/serving.md``.
+``submit {suite,verify,fuzz} [--host H] [--port N] ...``
+    Submit one job to a running server, stream its progress, and fetch
+    the final report (the same schema-versioned document the local CLI
+    writes).  Exit codes mirror the local commands.
 
 Observability (``verify`` and ``suite``): ``--report FILE`` writes a
 schema-versioned JSON run report (the machine-readable Figures 13/14;
@@ -406,6 +415,157 @@ def build_parser() -> argparse.ArgumentParser:
             "--output",
             metavar="FILE",
             help="also write the JSON document to FILE",
+        )
+
+    from repro.serve.app import DEFAULT_PORT
+
+    serve = sub.add_parser(
+        "serve", help="run the verification job server"
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1; the server is "
+        "unauthenticated, so bind non-loopback addresses only on "
+        "trusted networks)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        metavar="N",
+        help=f"TCP port (default: {DEFAULT_PORT}; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="size of the shared worker pool suite jobs shard over "
+        "(default: 2)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="bounded per-unit retries after a worker crash (default: 1)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="verification cache directory the server keys, shards, and "
+        "resumes against (default: $REPRO_CACHE_DIR, else "
+        "~/.cache/rtlcheck-repro)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a running job server"
+    )
+    submit_sub = submit.add_subparsers(dest="job_kind", required=True)
+    submit_suite = submit_sub.add_parser(
+        "suite", help="submit a suite verification job"
+    )
+    submit_suite.add_argument(
+        "--only",
+        nargs="+",
+        metavar="TEST",
+        help="restrict the job to these test names (default: all 56)",
+    )
+    submit_verify = submit_sub.add_parser(
+        "verify", help="submit a one-test verification job"
+    )
+    submit_verify.add_argument("test")
+    for sub_parser in (submit_suite, submit_verify):
+        sub_parser.add_argument(
+            "--memory",
+            choices=["buggy", "fixed"],
+            default="fixed",
+            help="Multi-V-scale memory variant (default: fixed)",
+        )
+        sub_parser.add_argument(
+            "--config",
+            choices=sorted(CONFIGS),
+            default="Full_Proof",
+            help="verifier engine configuration (default: Full_Proof)",
+        )
+        sub_parser.add_argument(
+            "--explorer",
+            choices=["graph", "per-property"],
+            default="graph",
+            help="explorer backend (default: graph)",
+        )
+        sub_parser.add_argument(
+            "--observe",
+            action="store_true",
+            help="run the job with observability recording, matching a "
+            "local run that passes --report/--trace/--metrics (part of "
+            "the job key)",
+        )
+    submit_fuzz = submit_sub.add_parser(
+        "fuzz", help="submit a differential fuzz campaign job"
+    )
+    submit_fuzz.add_argument("--seed", type=int, default=0)
+    submit_fuzz.add_argument("--budget", type=int, default=100, metavar="N")
+    submit_fuzz.add_argument(
+        "--oracles",
+        nargs="+",
+        choices=list(ORACLE_NAMES),
+        default=list(ORACLE_NAMES),
+        metavar="ORACLE",
+    )
+    submit_fuzz.add_argument(
+        "--memory", choices=["buggy", "fixed"], default="fixed"
+    )
+    submit_fuzz.add_argument("--long-programs", action="store_true")
+    submit_fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes the server's fuzz campaign uses (results "
+        "are independent of this value and it is not part of the job "
+        "key)",
+    )
+    for sub_parser in (submit_suite, submit_verify, submit_fuzz):
+        sub_parser.add_argument(
+            "--state-backend",
+            choices=["array", "kernel", "dict"],
+            default="array",
+            help="design snapshot representation (verdict-equivalent; "
+            "part of the job key)",
+        )
+        sub_parser.add_argument(
+            "--host", default="127.0.0.1", help="job server address"
+        )
+        sub_parser.add_argument(
+            "--port",
+            type=int,
+            default=DEFAULT_PORT,
+            metavar="N",
+            help=f"job server port (default: {DEFAULT_PORT})",
+        )
+        sub_parser.add_argument(
+            "--timeout",
+            type=float,
+            default=600.0,
+            metavar="SECONDS",
+            help="overall client timeout (default: 600)",
+        )
+        sub_parser.add_argument(
+            "--report",
+            metavar="FILE",
+            help="write the job's final JSON report to FILE",
+        )
+        sub_parser.add_argument(
+            "--events",
+            metavar="FILE",
+            help="tee the streamed NDJSON progress events to FILE",
+        )
+        sub_parser.add_argument(
+            "--quiet",
+            action="store_true",
+            help="suppress per-event progress lines",
         )
     return parser
 
@@ -884,6 +1044,142 @@ def cmd_coverage(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve.app import JobServer
+
+    server = JobServer(
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        host=args.host,
+        port=args.port,
+        retries=args.retries,
+    )
+
+    async def main():
+        await server.start()
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"(cache: {server.cache_dir}, pool: {server.jobs} workers)",
+            flush=True,
+        )
+        resumed = server.counters["resumed_jobs"]
+        if resumed:
+            print(f"resumed {resumed} interrupted job(s)", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\ninterrupted; unfinished jobs resume on the next start")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, ServeError
+
+    if args.job_kind == "fuzz":
+        spec = {
+            "kind": "fuzz",
+            "params": {
+                "seed": args.seed,
+                "budget": args.budget,
+                "oracles": list(args.oracles),
+                "memory_variant": args.memory,
+                "long_programs": args.long_programs,
+                "state_backend": args.state_backend,
+                "jobs": args.jobs,
+            },
+        }
+    else:
+        params = {
+            "memory_variant": args.memory,
+            "config": args.config,
+            "explorer": args.explorer,
+            "state_backend": args.state_backend,
+            "observe": args.observe,
+        }
+        if args.job_kind == "verify":
+            spec = {"kind": "verify", "params": {**params, "test": args.test}}
+        else:
+            if args.only:
+                params["tests"] = list(args.only)
+            spec = {"kind": "suite", "params": params}
+
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    events_file = open(args.events, "w") if args.events else None
+
+    def on_event(event):
+        if events_file is not None:
+            events_file.write(json.dumps(event, sort_keys=True) + "\n")
+        if args.quiet:
+            return
+        kind = event["event"]
+        if kind == "unit":
+            cached = " (cached)" if event["cached"] else ""
+            print(f"  {event['summary']}{cached}", flush=True)
+        elif kind == "progress":
+            index = event["index"] + 1
+            if index % 25 == 0:
+                print(
+                    f"  [{index}] cross-checked through {event['test']}",
+                    flush=True,
+                )
+        elif kind == "failed":
+            print(f"  FAILED: {event['error']}", flush=True)
+
+    try:
+        submission = client.submit(spec)
+        print(
+            f"job {submission['job'][:16]}... "
+            f"[{submission['source']}] state={submission['state']}"
+        )
+        key = submission["job"]
+        if submission["state"] not in ("done", "failed"):
+            for event in client.events(key):
+                on_event(event)
+        final = client.wait(key, timeout=args.timeout)
+        if final["state"] == "failed":
+            print(f"job failed: {final.get('error')}", file=sys.stderr)
+            return 2
+        report = client.report(key)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if events_file is not None:
+            events_file.close()
+
+    stats = final.get("stats", {})
+    if report["kind"] == "rtlcheck-run-report":
+        aggregates = report["aggregates"]
+        print(
+            f"suite job done [{final['source']}]: "
+            f"{aggregates['num_tests']} tests, "
+            f"{aggregates['bugs_found']} with counterexamples, "
+            f"{aggregates['proven_fraction']:.0%} properties proven"
+        )
+        failures = aggregates["bugs_found"]
+    else:
+        print(
+            f"fuzz job done [{final['source']}]: "
+            f"{report['tests_run']} tests, "
+            f"{report['discrepancy_count']} discrepancies"
+        )
+        failures = report["discrepancy_count"]
+    if stats.get("resumed"):
+        print(f"resumed {stats['resumed']} unit(s) from a prior run")
+    if args.report:
+        from repro import obs
+
+        obs.write_report(args.report, report)
+        print(f"wrote job report to {args.report}")
+    return 1 if failures else 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "show": cmd_show,
@@ -895,6 +1191,8 @@ COMMANDS = {
     "fuzz": cmd_fuzz,
     "cache": cmd_cache,
     "coverage": cmd_coverage,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
 }
 
 

@@ -87,10 +87,20 @@ class FuzzConfig:
     #: across them; the knob exists for performance and for the
     #: kernel-equivalence regression suite.
     state_backend: str = "array"
+    #: In-parent retries after a worker crash before the test is
+    #: recorded under the ``crashed`` contract.  Execution policy like
+    #: ``jobs`` — never part of the campaign key, and 0 (the default)
+    #: preserves the record-only behavior.  The job server sets this
+    #: so one flaky worker death cannot fail a long campaign.
+    crash_retries: int = 0
 
     def __post_init__(self):
         if self.budget < 0:
             raise ReproError(f"budget must be >= 0, got {self.budget}")
+        if self.crash_retries < 0:
+            raise ReproError(
+                f"crash_retries must be >= 0, got {self.crash_retries}"
+            )
         if self.jobs < 1:
             raise ReproError(f"jobs must be >= 1, got {self.jobs}")
         if self.memory_variant not in ("fixed", "buggy"):
@@ -191,6 +201,12 @@ class FuzzResult:
 #: workers live in separate processes.
 CRASH_TEST_ENV = "REPRO_DIFFTEST_CRASH_TEST"
 
+#: One-shot crash injection for the *retry* regression tests: the value
+#: is ``"<test>:<path>"``, and the worker raises for ``<test>`` only
+#: while ``<path>`` exists, unlinking it first — so the first attempt
+#: crashes deterministically and a bounded retry succeeds.
+CRASH_ONCE_ENV = "REPRO_DIFFTEST_CRASH_ONCE"
+
 #: Batch size of the coverage campaign loop.  Fixed (never derived from
 #: ``--jobs``) so the generated test stream — including every guided
 #: scheduling decision, which can only see feedback from *previous*
@@ -215,6 +231,12 @@ def _fuzz_worker(
     this evaluation's cache-statistics delta, merged by the parent)."""
     if os.environ.get(CRASH_TEST_ENV) == test.name:
         raise RuntimeError(f"injected worker crash on {test.name}")
+    once = os.environ.get(CRASH_ONCE_ENV)
+    if once:
+        target, _, path = once.partition(":")
+        if target == test.name and path and os.path.exists(path):
+            os.unlink(path)
+            raise RuntimeError(f"injected one-shot worker crash on {test.name}")
     cache = None
     if cache_dir is not None:
         from repro.cache import VerificationCache
@@ -288,6 +310,26 @@ def _crash_outcome(exc: BaseException) -> Dict:
         "obs": None,
         "cache_stats": None,
     }
+
+
+def _retry_outcome(
+    config: FuzzConfig, args: Tuple, exc: BaseException
+) -> Tuple[Dict, Optional[BaseException]]:
+    """Bounded in-parent re-evaluation after a worker crash.
+
+    Returns ``(outcome, crash_exc)``: ``crash_exc`` is ``None`` when a
+    retry succeeded (the caller may checkpoint the unit) and the last
+    exception when retries were exhausted (the outcome then carries the
+    ``crashed`` contract, and the unit stays unchecked so a resumed run
+    retries it again).
+    """
+    last = exc
+    for _ in range(config.crash_retries):
+        try:
+            return _fuzz_worker(*args), None
+        except Exception as retry_exc:
+            last = retry_exc
+    return _crash_outcome(last), last
 
 
 def _tally(tally: Dict[str, int], summary: Dict) -> None:
@@ -433,10 +475,13 @@ def _run_coverage_campaign(
                     try:
                         batch_outcomes[slot] = future.result()
                     except Exception as exc:
-                        batch_outcomes[slot] = _crash_outcome(exc)
-                    else:
-                        if manifest is not None:
-                            manifest.mark_done(str(produced + slot))
+                        batch_outcomes[slot], crashed = _retry_outcome(
+                            config, worker_args(batch[slot]), exc
+                        )
+                        if crashed is not None:
+                            continue
+                    if manifest is not None:
+                        manifest.mark_done(str(produced + slot))
             else:
                 for slot, test in enumerate(batch):
                     try:
@@ -444,10 +489,13 @@ def _run_coverage_campaign(
                             *worker_args(test)
                         )
                     except Exception as exc:
-                        batch_outcomes[slot] = _crash_outcome(exc)
-                    else:
-                        if manifest is not None:
-                            manifest.mark_done(str(produced + slot))
+                        batch_outcomes[slot], crashed = _retry_outcome(
+                            config, worker_args(test), exc
+                        )
+                        if crashed is not None:
+                            continue
+                    if manifest is not None:
+                        manifest.mark_done(str(produced + slot))
             for slot, test in enumerate(batch):
                 outcome = batch_outcomes[slot]
                 index = produced + slot
@@ -616,10 +664,15 @@ def run_fuzz(
                         outcomes[index] = future.result()
                     except Exception as exc:
                         # A non-ReproError escape killed the worker.
-                        # Record it per-test; do NOT mark the index done
-                        # in the checkpoint manifest, so a resumed run
-                        # retries it.
-                        outcomes[index] = _crash_outcome(exc)
+                        # Retry in-parent up to ``crash_retries`` times;
+                        # an exhausted unit is recorded per-test and NOT
+                        # marked done in the checkpoint manifest, so a
+                        # resumed run retries it.
+                        outcomes[index], crashed = _retry_outcome(
+                            config, worker_args(tests[index]), exc
+                        )
+                        if crashed is None and manifest is not None:
+                            manifest.mark_done(str(index))
                     else:
                         if manifest is not None:
                             manifest.mark_done(str(index))
@@ -635,7 +688,11 @@ def run_fuzz(
                 try:
                     outcome = _fuzz_worker(*worker_args(test))
                 except Exception as exc:
-                    outcome = _crash_outcome(exc)
+                    outcome, crashed = _retry_outcome(
+                        config, worker_args(test), exc
+                    )
+                    if crashed is None and manifest is not None:
+                        manifest.mark_done(str(index))
                 else:
                     if manifest is not None:
                         manifest.mark_done(str(index))

@@ -40,6 +40,8 @@ from repro.obs.report import (
     DIFFTEST_REPORT_KIND,
     DIFFTEST_REPRODUCER_KIND,
     SCHEMA_VERSION,
+    SERVE_EVENT_KIND,
+    SERVE_JOB_KIND,
     merge_counters,
     merge_gauges,
     suite_report,
@@ -57,6 +59,8 @@ __all__ = [
     "NULL_RECORDER",
     "NullRecorder",
     "SCHEMA_VERSION",
+    "SERVE_EVENT_KIND",
+    "SERVE_JOB_KIND",
     "Span",
     "TraceRecorder",
     "chrome_trace",

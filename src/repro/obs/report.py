@@ -66,6 +66,15 @@ DIFFTEST_REPORT_KIND = "rtlcheck-difftest-report"
 #: Artifact kind of a single minimized discrepancy reproducer.
 DIFFTEST_REPRODUCER_KIND = "rtlcheck-difftest-reproducer"
 
+#: Finished-job records persisted by the job server under
+#: ``<cache root>/serve/reports/`` (document shape is owned by
+#: :mod:`repro.serve.jobs`; the constant lives here with the other
+#: report kinds).
+SERVE_JOB_KIND = "rtlcheck-serve-job"
+
+#: One NDJSON progress event streamed from ``GET /v1/jobs/<id>/events``.
+SERVE_EVENT_KIND = "rtlcheck-serve-event"
+
 
 def merge_counters(test_dicts: Iterable[Mapping[str, Any]]) -> Dict[str, float]:
     """Sum the per-test counter maps into suite totals."""

@@ -1,0 +1,163 @@
+"""A stdlib HTTP client for the job server (``python -m repro submit``).
+
+Thin by design: every method maps to one endpoint, responses are the
+server's JSON documents verbatim, and :meth:`ServeClient.events` is a
+generator over the NDJSON progress stream.  The ``run`` convenience
+drives the whole lifecycle — submit, stream (unless the submission was
+a cache hit), fetch the report — which is exactly what the CLI
+``submit`` command does.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """The job server rejected a request or became unreachable."""
+
+
+class ServeClient:
+    """Client for one ``host:port`` job server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8357,
+                 timeout: float = 600.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(
+                f"cannot reach job server at {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else None
+        except ValueError:
+            document = None
+        return response.status, document
+
+    def _expect(self, status: int, document: Any, context: str) -> Any:
+        if status >= 400:
+            detail = (document or {}).get("error") if isinstance(
+                document, dict
+            ) else None
+            raise ServeError(
+                f"{context} failed ({status}): {detail or 'no detail'}"
+            )
+        return document
+
+    # -- endpoints ------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._expect(*self._request("GET", "/v1/healthz"), "healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._expect(*self._request("GET", "/v1/stats"), "stats")
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a job document; returns ``{"job", "state", "source"}``."""
+        return self._expect(
+            *self._request("POST", "/v1/jobs", body=spec), "submit"
+        )
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._expect(*self._request("GET", "/v1/jobs"), "job list")
+
+    def status(self, job: str) -> Dict[str, Any]:
+        return self._expect(
+            *self._request("GET", f"/v1/jobs/{job}"), f"status of {job}"
+        )
+
+    def report(self, job: str) -> Dict[str, Any]:
+        return self._expect(
+            *self._request("GET", f"/v1/jobs/{job}/report"), f"report of {job}"
+        )
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._expect(
+            *self._request("POST", "/v1/shutdown"), "shutdown"
+        )
+
+    def events(self, job: str) -> Iterator[Dict[str, Any]]:
+        """Stream the job's NDJSON progress events; the generator ends
+        when the job reaches a terminal state (the server closes the
+        connection after the ``done``/``failed`` event)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/v1/jobs/{job}/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read().decode("utf-8", "replace")
+                raise ServeError(
+                    f"event stream of {job} failed ({response.status}): {raw}"
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeError(f"event stream of {job} broke: {exc}") from exc
+        finally:
+            connection.close()
+
+    # -- conveniences ---------------------------------------------------
+
+    def wait(self, job: str, timeout: Optional[float] = None,
+             poll: float = 0.2) -> Dict[str, Any]:
+        """Poll until ``job`` is terminal; returns its final summary."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            summary = self.status(job)
+            if summary["state"] in ("done", "failed"):
+                return summary
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServeError(f"timed out waiting for job {job}")
+            time.sleep(poll)
+
+    def run(
+        self,
+        spec: Dict[str, Any],
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Submit, follow the event stream to completion, and fetch the
+        report.  Returns ``(submission, report)``; raises
+        :class:`ServeError` if the job failed."""
+        submission = self.submit(spec)
+        key = submission["job"]
+        if submission["state"] not in ("done", "failed"):
+            for event in self.events(key):
+                if on_event is not None:
+                    on_event(event)
+        final = self.wait(key, timeout=self.timeout)
+        if final["state"] == "failed":
+            raise ServeError(f"job {key} failed: {final.get('error')}")
+        return submission, self.report(key)

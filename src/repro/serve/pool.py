@@ -1,0 +1,139 @@
+"""The server's shared worker pool, with bounded per-unit crash retry.
+
+One :class:`WorkerPool` is shared by every suite job the server runs —
+the ``--jobs`` flag bounds *total* worker processes, not per-job
+parallelism.  The pool is created lazily on the first dispatched unit,
+which is what makes the warm-path contract observable: a fully-warm
+job (every verdict served parent-side from the cache) never spawns a
+single worker process, and ``/v1/stats`` exposes the ``pools_spawned``
+/ ``units_dispatched`` counters the tests assert on.
+
+Crash containment extends PR 6's ``crashed`` contract from recording
+to recovery: a unit whose worker dies (any exception, including a
+``BrokenProcessPool`` from a killed process) is retried up to
+``retries`` times, with the pool torn down and lazily rebuilt after a
+break so one dead worker cannot poison subsequent units.  Only when
+retries are exhausted does the unit's error surface — and it fails
+that *job*, never the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import ReproError
+
+#: Crash-injection hook for the retry regression tests, in the same
+#: spirit as ``REPRO_DIFFTEST_CRASH_TEST``: the value is
+#: ``"<test>:<path>"``, and the worker raises for ``<test>`` only while
+#: ``<path>`` exists, unlinking it first — so the first attempt
+#: crashes and the bounded retry deterministically succeeds.
+CRASH_ONCE_ENV = "REPRO_SERVE_CRASH_ONCE"
+
+
+class ServeUnitError(ReproError):
+    """A unit of server work failed after exhausting its crash retries."""
+
+
+def _maybe_injected_crash(name: str) -> None:
+    spec = os.environ.get(CRASH_ONCE_ENV)
+    if not spec:
+        return
+    target, _, path = spec.partition(":")
+    if target == name and path and os.path.exists(path):
+        os.unlink(path)
+        raise RuntimeError(f"injected serve worker crash on {name}")
+
+
+def suite_unit(rtlcheck, test, memory_variant) -> Tuple[Any, Any]:
+    """Module-level pool task: verify one suite-job test.  Delegates to
+    the same worker body ``verify_suite`` uses, so a served verdict is
+    the CLI's verdict by construction."""
+    from repro.core.rtlcheck import _verify_suite_worker
+
+    _maybe_injected_crash(test.name)
+    return _verify_suite_worker(rtlcheck, test, memory_variant)
+
+
+class WorkerPool:
+    """A lazily created, crash-recovering ``ProcessPoolExecutor``."""
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ReproError(f"worker pool size must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._pool: ProcessPoolExecutor | None = None
+        self.counters: Dict[str, int] = {
+            "pools_spawned": 0,
+            "units_dispatched": 0,
+            "unit_retries": 0,
+            "pools_broken": 0,
+        }
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # The pool MUST use the spawn start method: the server forks
+            # workers lazily, while client connections are open, and a
+            # fork-started worker inherits duplicates of every open
+            # socket fd.  Those long-lived duplicates keep a streamed
+            # HTTP response alive after ``writer.close()`` — the client
+            # never sees EOF.  Spawn re-execs the interpreter, so no
+            # descriptors leak into the workers.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            self.counters["pools_spawned"] += 1
+        return self._pool
+
+    async def run_unit(
+        self,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        retries: int = 1,
+        label: str = "",
+    ) -> Any:
+        """Run ``fn(*args)`` in a worker, retrying crashes up to
+        ``retries`` times.  Raises :class:`ServeUnitError` when the
+        last attempt also fails."""
+        loop = asyncio.get_running_loop()
+        last: BaseException | None = None
+        for attempt in range(retries + 1):
+            if attempt:
+                self.counters["unit_retries"] += 1
+            pool = self._ensure()
+            self.counters["units_dispatched"] += 1
+            try:
+                return await loop.run_in_executor(
+                    pool, _call_unit, fn, args
+                )
+            except BrokenProcessPool as exc:
+                # The pool is unusable after a hard worker death; drop
+                # it so the next attempt (or next unit) rebuilds fresh.
+                last = exc
+                self._pool = None
+                self.counters["pools_broken"] += 1
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                last = exc
+        raise ServeUnitError(
+            f"unit {label or fn.__name__!r} failed after "
+            f"{retries + 1} attempt(s): {last!r}"
+        )
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+def _call_unit(fn: Callable[..., Any], args: Tuple[Any, ...]) -> Any:
+    """Picklable dispatch shim (``run_in_executor`` passes positional
+    args only)."""
+    return fn(*args)

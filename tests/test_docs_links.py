@@ -1,9 +1,10 @@
 """Documentation-tree integrity (tools/check_doc_links.py).
 
-Tier-1 enforcement of the docs contract: no broken relative links
-anywhere, and ``docs/index.md`` reaches every document under ``docs/``
-— adding a doc without indexing it, or renaming one without fixing its
-referrers, fails the suite, not just CI.
+Tier-1 enforcement of the docs contract: no broken relative links OR
+``#anchor`` fragments anywhere, and ``docs/index.md`` reaches every
+document under ``docs/`` — adding a doc without indexing it, renaming
+one without fixing its referrers, or rewording a heading without
+fixing the anchors that point at it, fails the suite, not just CI.
 """
 
 import subprocess
@@ -51,3 +52,70 @@ def test_checker_detects_broken_link(tmp_path):
     (docs / "index.md").write_text("[gone](missing.md)\n")
     problems = check_doc_links.check_links(tmp_path)
     assert any("missing.md" in p for p in problems)
+
+
+class TestAnchors:
+    def test_heading_slugs_follow_github_rules(self):
+        slug = check_doc_links.heading_slug
+        assert slug("Compiled step kernels") == "compiled-step-kernels"
+        assert slug("Job identity, dedup, and coalescing") == (
+            "job-identity-dedup-and-coalescing"
+        )
+        assert slug("The `kernel` backend") == "the-kernel-backend"
+        assert slug("Checkpoint / resume") == "checkpoint--resume"
+        assert slug("What's *new*?") == "whats-new"
+
+    def test_anchor_extraction(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# Title\n"
+            "## Repeated\n"
+            "## Repeated\n"
+            "```\n"
+            "# not a heading (code fence)\n"
+            "```\n"
+            "## The `code` heading\n"
+        )
+        assert check_doc_links.anchors(doc) == {
+            "title",
+            "repeated",
+            "repeated-1",
+            "the-code-heading",
+        }
+
+    def test_broken_same_file_anchor_is_reported(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "index.md").write_text(
+            "# Top\n[jump](#no-such-section)\n"
+        )
+        problems = check_doc_links.check_links(tmp_path)
+        assert any("no-such-section" in p for p in problems)
+
+    def test_broken_cross_file_anchor_is_reported(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "index.md").write_text("[other](other.md#missing)\n")
+        (docs / "other.md").write_text("# Only Heading\n")
+        problems = check_doc_links.check_links(tmp_path)
+        assert any("missing" in p for p in problems)
+
+    def test_valid_anchors_pass(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "index.md").write_text(
+            "# Top\n## A Section\n[self](#a-section)\n"
+            "[there](other.md#only-heading)\n"
+        )
+        (docs / "other.md").write_text("# Only Heading\n[back](index.md)\n")
+        assert check_doc_links.check_links(tmp_path) == []
+
+    def test_repo_docs_use_at_least_one_anchor_link(self):
+        # The feature must stay exercised by the real tree (performance
+        # and serving docs both use intra-doc anchors).
+        targets = [
+            target
+            for path in check_doc_links.markdown_files(REPO)
+            for target in check_doc_links.relative_links(path)
+        ]
+        assert any("#" in target for target in targets)

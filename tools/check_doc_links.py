@@ -1,16 +1,18 @@
 #!/usr/bin/env python
 """Documentation link checker.
 
-Checks two properties, both enforced in CI and by
+Checks three properties, all enforced in CI and by
 ``tests/test_docs_links.py``:
 
 1. every relative markdown link in the repo's ``*.md`` files (repo root
    and ``docs/``) resolves to an existing file;
-2. every document under ``docs/`` is reachable from ``docs/index.md``
+2. every ``#fragment`` — in a pure-anchor link (``#section``) or a
+   cross-file link (``file.md#section``) — resolves to a heading in
+   the target document, using GitHub's anchor-slug rules;
+3. every document under ``docs/`` is reachable from ``docs/index.md``
    by following relative links — the index really is a complete map.
 
-External (``http(s)://``, ``mailto:``) and pure-anchor (``#...``)
-links are skipped; fragments are stripped before resolution.  Exits
+External (``http(s)://``, ``mailto:``) links are skipped.  Exits
 non-zero with one line per problem.
 """
 
@@ -19,13 +21,20 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
-from typing import Iterable, List, Set
+from typing import Dict, Iterable, List, Set
 
 #: Inline markdown links: [text](target).  Reference-style links are not
 #: used in this repo.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
-_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^(```|~~~)")
+
+#: Stripped from heading text before slugging: inline code markers,
+#: emphasis, and link syntax (``[text](target)`` keeps ``text``).
+_INLINE_LINK = re.compile(r"\[([^\]]*)\]\([^)]*\)")
 
 
 def repo_root() -> Path:
@@ -52,15 +61,62 @@ def resolve(source: Path, target: str) -> Path:
     return (source.parent / target.split("#", 1)[0]).resolve()
 
 
+def heading_slug(text: str) -> str:
+    """GitHub's anchor slug for one heading's text: strip inline
+    markup, lowercase, drop everything but word characters, hyphens,
+    and spaces, then hyphenate the spaces."""
+    text = _INLINE_LINK.sub(r"\1", text)
+    text = text.replace("`", "").replace("*", "")
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.strip().replace(" ", "-")
+
+
+def anchors(path: Path) -> Set[str]:
+    """Every anchor a markdown file exposes, with GitHub's ``-N``
+    suffixing for duplicate headings.  Fenced code blocks are skipped
+    (a ``# comment`` inside one is not a heading)."""
+    seen: Dict[str, int] = {}
+    out: Set[str] = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = heading_slug(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        out.add(slug if count == 0 else f"{slug}-{count}")
+    return out
+
+
 def check_links(root: Path) -> List[str]:
-    """All broken relative links under ``root``, one message each."""
+    """All broken relative links and anchors under ``root``, one
+    message each."""
     problems = []
+    anchor_cache: Dict[Path, Set[str]] = {}
     for path in markdown_files(root):
         for target in relative_links(path):
-            resolved = resolve(path, target)
-            if not resolved.exists():
+            file_part, _, fragment = target.partition("#")
+            resolved = resolve(path, target) if file_part else path
+            if file_part and not resolved.exists():
                 problems.append(
                     f"{path.relative_to(root)}: broken link {target!r}"
+                )
+                continue
+            if not fragment or resolved.suffix != ".md":
+                continue
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = anchors(resolved)
+            if fragment not in anchor_cache[resolved]:
+                problems.append(
+                    f"{path.relative_to(root)}: broken anchor {target!r} "
+                    f"(no heading slugs to {fragment!r} in "
+                    f"{resolved.relative_to(root)})"
                 )
     return problems
 
@@ -76,6 +132,8 @@ def check_index_coverage(root: Path) -> List[str]:
     while frontier:
         current = frontier.pop()
         for target in relative_links(current):
+            if target.startswith("#"):
+                continue
             resolved = resolve(current, target)
             if (
                 resolved.suffix == ".md"
